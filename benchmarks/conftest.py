@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md) and prints the corresponding rows with
+:func:`repro.utils.format_table` so the output can be compared side by side
+with the paper.  Timing is collected with pytest-benchmark; the scientific
+quantities (makespan, utilization, memory, speedups) are simulated values and
+are printed and asserted on directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.models import BertConfig, FeedForwardConfig
+from repro.scheduler import TrainingJob
+from repro.sharding import make_plan
+from repro.utils import seed_everything
+from repro.utils.tabulate import format_table
+
+GIB = 1024 ** 3
+
+#: the paper's testbed: one server with 4 x 16 GB Tesla V100
+PAPER_NUM_DEVICES = 4
+PAPER_GPU = "v100-16gb"
+#: SQuAD fine-tuning shape used throughout: sequence length 384, batch 32
+PAPER_SEQ_LEN = 384
+PAPER_BATCH = 32
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_everything(2021)
+    yield
+
+
+@pytest.fixture
+def paper_cluster() -> Cluster:
+    return Cluster.single_server(PAPER_NUM_DEVICES, PAPER_GPU)
+
+
+def bert_large_profile(seq_len: int = PAPER_SEQ_LEN):
+    return BertConfig.bert_large().profile(seq_len=seq_len)
+
+
+def bert_large_jobs(num_models: int, batches: int = 2, batch_size: int = 16,
+                    num_shards: int = 4, epochs: int = 1):
+    """BERT-Large fine-tuning jobs (one per candidate configuration)."""
+    profile = bert_large_profile()
+    jobs = []
+    for index in range(num_models):
+        plan = make_plan(f"bert-large-{index}", profile, batch_size=batch_size,
+                         num_shards=num_shards)
+        jobs.append(
+            TrainingJob(model_id=f"bert-large-{index}", plan=plan, num_epochs=epochs,
+                        batches_per_epoch=batches, samples_per_batch=batch_size)
+        )
+    return jobs
+
+
+def print_report(title: str, headers, rows) -> None:
+    """Print one experiment's table under a separating banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(headers, rows))

@@ -1,0 +1,66 @@
+"""E9 (ablation) — partitioning algorithm and shard-count sweep.
+
+DESIGN.md calls out the choice of partitioner (uniform block counts versus
+min-max balanced) as a design decision; this ablation quantifies its effect on
+per-device memory (what decides whether a model fits at all) and on Hydra's
+makespan, across shard counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import GIB, PAPER_BATCH, bert_large_profile, print_report
+from repro.scheduler import ShardParallelStrategy, TrainingJob
+from repro.sharding import make_plan
+
+SHARD_COUNTS = (2, 4, 8)
+NUM_MODELS = 4
+
+
+@pytest.mark.benchmark(group="ablation-partitioner")
+def test_partitioner_ablation(benchmark, paper_cluster):
+    profile = bert_large_profile()
+
+    def sweep():
+        results = {}
+        for strategy_name in ("uniform", "min_max"):
+            for num_shards in SHARD_COUNTS:
+                plans = [
+                    make_plan(f"bert-{i}", profile, batch_size=16,
+                              num_shards=num_shards, strategy=strategy_name)
+                    for i in range(NUM_MODELS)
+                ]
+                jobs = [
+                    TrainingJob(model_id=f"bert-{i}", plan=plan, num_epochs=1,
+                                batches_per_epoch=2, samples_per_batch=16)
+                    for i, plan in enumerate(plans)
+                ]
+                paper_cluster.reset()
+                schedule = ShardParallelStrategy().schedule(jobs, paper_cluster)
+                results[(strategy_name, num_shards)] = (plans[0], schedule)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (strategy_name, num_shards), (plan, schedule) in results.items():
+        rows.append([
+            strategy_name,
+            num_shards,
+            f"{plan.max_shard_working_bytes / GIB:.2f}",
+            f"{plan.memory_reduction_factor():.2f}x",
+            f"{schedule.makespan:.2f}",
+        ])
+    print_report(
+        "Ablation — partitioner and shard count (4 BERT-Large models, batch 16, 4 GPUs)",
+        ["partitioner", "num_shards", "max_shard_GiB", "memory_reduction", "hydra_makespan_s"],
+        rows,
+    )
+
+    for num_shards in SHARD_COUNTS:
+        uniform_plan, _ = results[("uniform", num_shards)]
+        balanced_plan, _ = results[("min_max", num_shards)]
+        # The balanced partitioner never produces a worse bottleneck shard.
+        assert balanced_plan.max_shard_working_bytes <= uniform_plan.max_shard_working_bytes + 1
+    # More shards -> smaller per-device footprint (the memory/parallelism trade-off).
+    reductions = [results[("min_max", k)][0].memory_reduction_factor() for k in SHARD_COUNTS]
+    assert reductions == sorted(reductions)

@@ -1,0 +1,88 @@
+"""E7 — §4.1 Cerebro integration: Hydra + data-parallel model hopping.
+
+The paper plans to pair Hydra with Cerebro, whose model-hopper keeps data
+partitions pinned to workers and moves models between them.  This benchmark
+runs the hybrid strategy on an 8-GPU cluster (two 4-GPU groups, so two data
+partitions) against pure shard parallelism and classic model parallelism, and
+additionally exercises the *real-execution* Cerebro hopper on small models to
+confirm it trains correctly.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bert_large_jobs, print_report
+from repro.cluster import Cluster
+from repro.data import make_classification
+from repro.models import FeedForwardConfig, FeedForwardNetwork
+from repro.optim import Adam
+from repro.scheduler import (
+    HybridShardDataParallelStrategy,
+    ModelParallelStrategy,
+    ShardParallelStrategy,
+)
+from repro.selection import CerebroModelHopper
+
+NUM_MODELS = 4
+BATCHES = 8
+
+
+@pytest.mark.benchmark(group="cerebro")
+def test_hybrid_shard_data_parallel_simulation(benchmark):
+    cluster = Cluster.single_server(8, "v100-16gb")
+
+    def run_all():
+        results = {}
+        for name, strategy in [
+            ("model-parallel", ModelParallelStrategy()),
+            ("shard-parallel", ShardParallelStrategy()),
+            ("hybrid (2 groups)", HybridShardDataParallelStrategy(num_groups=2)),
+        ]:
+            cluster.reset()
+            results[name] = strategy.schedule(
+                bert_large_jobs(NUM_MODELS, batches=BATCHES, batch_size=16), cluster
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{result.makespan:.2f}", f"{result.cluster_utilization:.3f}",
+         f"{result.throughput_samples_per_second:.1f}"]
+        for name, result in results.items()
+    ]
+    print_report(
+        "§4.1 — Cerebro-style hybrid (8 GPUs, 2 groups of 4): makespan / utilization / throughput",
+        ["strategy", "makespan_s", "utilization", "samples_per_s"],
+        rows,
+    )
+
+    assert results["hybrid (2 groups)"].makespan < results["model-parallel"].makespan
+    assert results["shard-parallel"].makespan < results["model-parallel"].makespan
+
+
+@pytest.mark.benchmark(group="cerebro")
+def test_cerebro_hopper_real_training(benchmark):
+    data = make_classification(num_samples=128, num_features=16, num_classes=4,
+                               class_separation=3.0, rng=np.random.default_rng(5))
+
+    def run():
+        hopper = CerebroModelHopper(data, num_workers=4, batch_size=16, seed=0)
+        for seed, lr in enumerate([3e-3, 1e-2, 3e-2, 1e-3]):
+            model = FeedForwardNetwork(FeedForwardConfig.tiny(), seed=seed)
+            hopper.add_model(model, Adam(model.parameters(), lr=lr),
+                             boundaries=[(0, 1), (1, 3)], model_id=f"lr={lr}")
+        return hopper.fit(num_epochs=3)
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [model_id, f"{report.epochs[0]['loss']:.4f}", f"{report.epochs[-1]['loss']:.4f}"]
+        for model_id, report in reports.items()
+    ]
+    print_report(
+        "Cerebro model hopper (real execution, 4 data partitions, 4 sharded models)",
+        ["model", "epoch0_loss", "final_loss"],
+        rows,
+    )
+    assert all(r.epochs[-1]["loss"] < r.epochs[0]["loss"] for r in reports.values())

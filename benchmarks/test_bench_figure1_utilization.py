@@ -1,0 +1,48 @@
+"""E1 — Figure 1: device idling under classic model parallelism.
+
+The paper's Figure 1 illustrates that sharding a model across devices leaves
+every device idle while it waits for its neighbour's activations/gradients.
+This benchmark shards one BERT-Large fine-tuning job over the 4-GPU paper
+testbed under classic model parallelism and reports the per-device
+utilization plus the Gantt-style timeline summary — at most one device is
+ever busy, so cluster utilization sits near 1/num_devices.
+"""
+
+import pytest
+
+from benchmarks.conftest import bert_large_jobs, print_report
+from repro.scheduler import ModelParallelStrategy
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_model_parallel_idling(benchmark, paper_cluster):
+    jobs = bert_large_jobs(num_models=1, batches=4)
+
+    def run():
+        paper_cluster.reset()
+        return ModelParallelStrategy().schedule(jobs, paper_cluster)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    per_device = result.trace.per_device_utilization()
+    rows = [
+        [device, f"{utilization:.3f}", f"{result.trace.busy_seconds(device):.2f}",
+         f"{result.trace.idle_seconds(device):.2f}"]
+        for device, utilization in per_device.items()
+    ]
+    rows.append(["cluster", f"{result.cluster_utilization:.3f}",
+                 f"{result.trace.busy_seconds():.2f}", "-"])
+    print_report(
+        "Figure 1 — BERT-Large, classic model parallelism on 4x V100-16GB "
+        "(per-device utilization; devices idle while waiting on neighbours)",
+        ["device", "utilization", "busy_s", "idle_s"],
+        rows,
+    )
+
+    # Paper shape: with 4 devices and a strictly sequential pipeline, cluster
+    # utilization is near 25% and no device comes close to full utilization.
+    assert result.cluster_utilization < 0.45
+    assert max(per_device.values()) < 0.75
+    # The work itself is spread over all four devices (that's the point of
+    # model parallelism), it is just never concurrent.
+    assert len([u for u in per_device.values() if u > 0]) == 4

@@ -1,0 +1,82 @@
+"""E2 — Figure 2: shard vs task vs model parallelism (schematic speedups).
+
+The paper's Figure 2 considers 3 models of uniform-cost shards on 2 GPUs
+(models fit in memory) and annotates ~33% speedup for task parallelism and
+~50% for shard parallelism over classic model parallelism.  This benchmark
+rebuilds exactly that schematic with the cost-model simulator and reports the
+measured makespans and speedups.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.cluster import Cluster
+from repro.profiling import ModelProfile, linear_cost
+from repro.scheduler import (
+    ModelParallelStrategy,
+    ShardParallelStrategy,
+    TaskParallelStrategy,
+    TrainingJob,
+)
+from repro.sharding import ShardingPlan
+
+NUM_MODELS = 3
+NUM_SHARDS = 2
+BLOCK_WIDTH = 8192  # keeps compute well above PCIe transfer time, as in the schematic
+
+
+def schematic_jobs():
+    jobs = []
+    for index in range(NUM_MODELS):
+        profile = ModelProfile(
+            model_name=f"model-{index}",
+            blocks=[linear_cost(f"b{i}", BLOCK_WIDTH, BLOCK_WIDTH) for i in range(NUM_SHARDS)],
+        )
+        plan = ShardingPlan(f"model-{index}", profile,
+                            [(i, i + 1) for i in range(NUM_SHARDS)], batch_size=32)
+        jobs.append(TrainingJob(model_id=f"model-{index}", plan=plan, num_epochs=1,
+                                batches_per_epoch=1, samples_per_batch=32))
+    return jobs
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_speedup_schematic(benchmark):
+    cluster = Cluster.single_server(2, "v100-16gb")
+    strategies = {
+        "model-parallel": ModelParallelStrategy(),
+        "task-parallel": TaskParallelStrategy(),
+        "shard-parallel": ShardParallelStrategy(),
+    }
+
+    def run_all():
+        results = {}
+        for name, strategy in strategies.items():
+            cluster.reset()
+            results[name] = strategy.schedule(schematic_jobs(), cluster)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    baseline = results["model-parallel"].makespan
+    rows = []
+    for name, result in results.items():
+        speedup = 1.0 - result.makespan / baseline
+        rows.append([
+            name,
+            f"{result.makespan * 1e3:.3f}",
+            f"{result.cluster_utilization:.2f}",
+            f"{speedup * 100:.1f}%",
+        ])
+    print_report(
+        "Figure 2 — 3 models x 2 uniform shards on 2 GPUs "
+        "(paper schematic: ~33% task-parallel, ~50% shard-parallel speedup)",
+        ["strategy", "makespan_ms", "utilization", "speedup_vs_model_parallel"],
+        rows,
+    )
+
+    task_speedup = 1.0 - results["task-parallel"].makespan / baseline
+    shard_speedup = 1.0 - results["shard-parallel"].makespan / baseline
+    # Shape check: shard > task > nothing, in the ballparks the figure annotates.
+    assert 0.20 <= task_speedup <= 0.45
+    assert 0.35 <= shard_speedup <= 0.62
+    assert shard_speedup > task_speedup

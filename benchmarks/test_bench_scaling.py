@@ -1,0 +1,67 @@
+"""E10 — scaling: Hydra's advantage versus device count and model count.
+
+Sweeps the number of devices (2-16) and the number of candidate models (2-16)
+and reports Hydra's speedup over classic model parallelism, showing where the
+benefit saturates (when there are too few independent models to fill all
+devices) and where it is largest.
+"""
+
+import pytest
+
+from benchmarks.conftest import bert_large_jobs, print_report
+from repro.cluster import Cluster
+from repro.scheduler import ModelParallelStrategy, ShardParallelStrategy
+
+DEVICE_COUNTS = (2, 4, 8)
+MODEL_COUNTS = (2, 4, 8, 16)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_devices_and_models(benchmark):
+    def sweep():
+        results = {}
+        for num_devices in DEVICE_COUNTS:
+            cluster = Cluster.single_server(num_devices, "v100-16gb")
+            for num_models in MODEL_COUNTS:
+                jobs = bert_large_jobs(num_models, batches=1, batch_size=16,
+                                       num_shards=min(4, num_devices))
+                cluster.reset()
+                mp = ModelParallelStrategy().schedule(jobs, cluster)
+                cluster.reset()
+                sp = ShardParallelStrategy().schedule(
+                    bert_large_jobs(num_models, batches=1, batch_size=16,
+                                    num_shards=min(4, num_devices)),
+                    cluster,
+                )
+                results[(num_devices, num_models)] = (mp, sp)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (num_devices, num_models), (mp, sp) in results.items():
+        rows.append([
+            num_devices,
+            num_models,
+            f"{mp.makespan:.2f}",
+            f"{sp.makespan:.2f}",
+            f"{sp.speedup_over(mp):.2f}x",
+            f"{sp.cluster_utilization:.2f}",
+            sp.waves,
+        ])
+    print_report(
+        "Scaling — Hydra speedup over model parallelism vs devices and model count "
+        "(BERT-Large, batch 16)",
+        ["devices", "models", "model_parallel_s", "shard_parallel_s", "speedup",
+         "hydra_util", "waves"],
+        rows,
+    )
+
+    # Speedup grows with the number of models available to interleave...
+    for num_devices in DEVICE_COUNTS:
+        few = results[(num_devices, 2)][1].speedup_over(results[(num_devices, 2)][0])
+        many = results[(num_devices, 16)][1].speedup_over(results[(num_devices, 16)][0])
+        assert many >= few * 0.95
+    # ...and with 4 devices and >=8 models, Hydra is at least 2x faster.
+    mp, sp = results[(4, 8)]
+    assert sp.speedup_over(mp) > 2.0

@@ -1,0 +1,57 @@
+"""E5 — Desideratum D1: device utilization across strategies and model counts.
+
+Hydra's first desideratum is maximising device utilization during multi-model
+training.  This benchmark sweeps the number of candidate BERT-Large
+configurations on the 4-GPU paper testbed and reports cluster utilization for
+classic model parallelism versus shard parallelism (task parallelism is
+infeasible at this scale — the model does not fit one device).
+"""
+
+import pytest
+
+from benchmarks.conftest import bert_large_jobs, print_report
+from repro.scheduler import ModelParallelStrategy, ShardParallelStrategy
+
+MODEL_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.benchmark(group="utilization")
+def test_utilization_vs_model_count(benchmark, paper_cluster):
+    def sweep():
+        results = {}
+        for num_models in MODEL_COUNTS:
+            jobs = bert_large_jobs(num_models, batches=2)
+            paper_cluster.reset()
+            mp = ModelParallelStrategy().schedule(jobs, paper_cluster)
+            paper_cluster.reset()
+            sp = ShardParallelStrategy().schedule(bert_large_jobs(num_models, batches=2),
+                                                  paper_cluster)
+            results[num_models] = (mp, sp)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for num_models, (mp, sp) in results.items():
+        rows.append([
+            num_models,
+            f"{mp.cluster_utilization:.3f}",
+            f"{sp.cluster_utilization:.3f}",
+            f"{sp.cluster_utilization / mp.cluster_utilization:.2f}x",
+        ])
+    print_report(
+        "Desideratum D1 — cluster utilization, BERT-Large model selection on 4x V100 "
+        "(model parallelism idles; shard parallelism approaches full utilization)",
+        ["num_models", "model_parallel_util", "shard_parallel_util", "improvement"],
+        rows,
+    )
+
+    for num_models, (mp, sp) in results.items():
+        assert mp.cluster_utilization < 0.45
+        if num_models >= 4:
+            # With at least one model per device, Hydra keeps devices busy.
+            assert sp.cluster_utilization > 0.7
+            assert sp.cluster_utilization > 2 * mp.cluster_utilization
+    # Utilization grows with the number of independent models available.
+    shard_utils = [sp.cluster_utilization for _, sp in results.values()]
+    assert shard_utils[-1] > shard_utils[0]

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Model-Parallel Model Selection for Deep Learning Systems".
+
+The package implements Hydra-style *shard parallelism* for multi-model deep
+learning training, together with every substrate the paper depends on:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` — a numpy
+  deep-learning engine standing in for PyTorch.
+* :mod:`repro.models`, :mod:`repro.data` — the paper's workloads (1.2 M-param
+  feedforward net, BERT-style encoders, synthetic SQuAD-like span data).
+* :mod:`repro.profiling`, :mod:`repro.cluster` — layer cost models and a
+  discrete-event multi-GPU cluster simulator (4×16 GB V100 preset).
+* :mod:`repro.sharding`, :mod:`repro.scheduler` — the paper's contribution:
+  model partitioning plus the shard-parallel (Hydra) scheduler and its
+  task-parallel / model-parallel baselines.
+* :mod:`repro.selection`, :mod:`repro.training` — model-selection drivers
+  (grid/random/ASHA, Cerebro-style model hopper) and real training engines.
+
+See ``DESIGN.md`` for the full system inventory and experiment index.
+"""
+
+from repro.version import __version__
+from repro import exceptions
+
+__all__ = [
+    "__version__",
+    "exceptions",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the facade API to avoid importing heavy modules eagerly."""
+    if name in ("HydraSession", "HydraConfig", "run_model_selection"):
+        from repro import hydra
+        return getattr(hydra, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate that stands in for PyTorch's autograd in the
+reproduction: a :class:`~repro.autograd.tensor.Tensor` records the operations
+applied to it and :meth:`~repro.autograd.tensor.Tensor.backward` propagates
+gradients through the recorded graph.  The gradient-parity experiments (the
+paper's "exact replication of model training output" desideratum) compare
+sharded against unsharded execution of exactly this engine.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.function import Function
+from repro.autograd import ops
+from repro.autograd.grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "ops",
+    "no_grad",
+    "is_grad_enabled",
+    "check_gradients",
+    "numerical_gradient",
+]

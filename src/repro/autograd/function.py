@@ -1,0 +1,106 @@
+"""The :class:`Function` base class: one differentiable operation.
+
+Every primitive operation in the autograd engine is a ``Function`` subclass
+implementing :meth:`forward` on raw numpy arrays and :meth:`backward`
+producing one gradient array per tensor input.  :meth:`Function.apply` wires
+the resulting output tensor into the autograd graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AutogradError
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Broadcasting in the forward pass implicitly replicates the smaller
+    operand; the corresponding backward step must therefore sum the gradient
+    over every broadcast dimension.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were 1 in the original shape but expanded.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward(self, *arrays, **kwargs) -> np.ndarray``
+    and ``backward(self, grad_output) -> tuple[np.ndarray | None, ...]``
+    (one entry per tensor input, ``None`` for inputs that need no gradient).
+    """
+
+    def __init__(self) -> None:
+        self.parents: Tuple[Any, ...] = ()
+        self.saved_tensors: Tuple[np.ndarray, ...] = ()
+        self.needs_input_grad: Tuple[bool, ...] = ()
+
+    def save_for_backward(self, *arrays: np.ndarray) -> None:
+        """Stash arrays needed by :meth:`backward`."""
+        self.saved_tensors = arrays
+
+    def forward(self, *args: Any, **kwargs: Any) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> Sequence[Optional[np.ndarray]]:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *inputs: Any, **kwargs: Any) -> "Tensor":
+        """Run the op on tensor/array inputs and build the output tensor.
+
+        Non-tensor inputs (python scalars, numpy arrays) are treated as
+        constants that require no gradient.
+        """
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+
+        ctx = cls()
+        tensor_inputs = []
+        raw_inputs = []
+        for value in inputs:
+            if isinstance(value, Tensor):
+                tensor_inputs.append(value)
+                raw_inputs.append(value.data)
+            else:
+                tensor_inputs.append(None)
+                raw_inputs.append(np.asarray(value) if not np.isscalar(value) else value)
+
+        ctx.needs_input_grad = tuple(
+            t is not None and t.requires_grad for t in tensor_inputs
+        )
+        output_data = ctx.forward(*raw_inputs, **kwargs)
+
+        requires_grad = is_grad_enabled() and any(ctx.needs_input_grad)
+        output = Tensor(output_data, requires_grad=requires_grad)
+        if requires_grad:
+            ctx.parents = tuple(tensor_inputs)
+            output._ctx = ctx
+        return output
+
+    def propagate(self, grad_output: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        """Validate and return the gradients produced by :meth:`backward`."""
+        grads = self.backward(grad_output)
+        if not isinstance(grads, (tuple, list)):
+            grads = (grads,)
+        if len(grads) != len(self.parents):
+            raise AutogradError(
+                f"{type(self).__name__}.backward returned {len(grads)} gradients "
+                f"for {len(self.parents)} inputs"
+            )
+        return grads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,87 @@
+"""Numerical gradient checking utilities.
+
+Used by the test suite to validate every primitive op and by the
+gradient-parity benchmark (paper desideratum D3) as an independent check
+that sharded execution produces the same derivatives as the analytic graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``func`` w.r.t. ``inputs[index]``.
+
+    ``func`` must return a scalar tensor.  Inputs are evaluated in float64
+    for numerical stability.
+    """
+    target = inputs[index]
+    base = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(base)
+
+    def evaluate(values: np.ndarray) -> float:
+        probe = [
+            Tensor(values, requires_grad=False) if i == index else Tensor(inp.data)
+            for i, inp in enumerate(inputs)
+        ]
+        return float(func(*probe).data)
+
+    it = np.nditer(base, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = base[idx]
+        base[idx] = original + epsilon
+        plus = evaluate(base)
+        base[idx] = original - epsilon
+        minus = evaluate(base)
+        base[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * epsilon)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    epsilon: float = 1e-5,
+) -> Dict[int, float]:
+    """Compare analytic and numerical gradients for each differentiable input.
+
+    Returns a mapping from input index to the maximum absolute difference,
+    and raises ``AssertionError`` if any comparison exceeds the tolerances.
+    """
+    inputs = [
+        Tensor(t.data.astype(np.float64), requires_grad=t.requires_grad) for t in inputs
+    ]
+    output = func(*inputs)
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    output.backward()
+
+    errors: Dict[int, float] = {}
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        numeric = numerical_gradient(func, inputs, i, epsilon=epsilon)
+        analytic = tensor.grad
+        if analytic is None:
+            raise AssertionError(f"input {i} received no analytic gradient")
+        max_error = float(np.max(np.abs(analytic - numeric)))
+        errors[i] = max_error
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {max_error:.3e}"
+            )
+    return errors

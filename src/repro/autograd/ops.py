@@ -1,0 +1,590 @@
+"""Differentiable primitive operations and their functional wrappers.
+
+Every class here is a :class:`~repro.autograd.function.Function` subclass
+whose ``forward`` works on raw numpy arrays and whose ``backward`` returns
+one gradient per input.  The lowercase functions at the bottom are the public
+functional API used by :class:`~repro.autograd.tensor.Tensor` methods and by
+the :mod:`repro.nn` layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.function import Function, unbroadcast
+from repro.exceptions import ShapeError
+
+
+# --------------------------------------------------------------------------- #
+# Elementwise arithmetic
+# --------------------------------------------------------------------------- #
+class Add(Function):
+    def forward(self, a, b):
+        self.a_shape, self.b_shape = np.shape(a), np.shape(b)
+        return a + b
+
+    def backward(self, grad_output):
+        return (
+            unbroadcast(grad_output, self.a_shape) if self.needs_input_grad[0] else None,
+            unbroadcast(grad_output, self.b_shape) if self.needs_input_grad[1] else None,
+        )
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.a_shape, self.b_shape = np.shape(a), np.shape(b)
+        return a - b
+
+    def backward(self, grad_output):
+        return (
+            unbroadcast(grad_output, self.a_shape) if self.needs_input_grad[0] else None,
+            unbroadcast(-grad_output, self.b_shape) if self.needs_input_grad[1] else None,
+        )
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(np.asarray(a), np.asarray(b))
+        return a * b
+
+    def backward(self, grad_output):
+        a, b = self.saved_tensors
+        grad_a = unbroadcast(grad_output * b, a.shape) if self.needs_input_grad[0] else None
+        grad_b = unbroadcast(grad_output * a, b.shape) if self.needs_input_grad[1] else None
+        return grad_a, grad_b
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(np.asarray(a), np.asarray(b))
+        return a / b
+
+    def backward(self, grad_output):
+        a, b = self.saved_tensors
+        grad_a = unbroadcast(grad_output / b, a.shape) if self.needs_input_grad[0] else None
+        grad_b = (
+            unbroadcast(-grad_output * a / (b * b), b.shape)
+            if self.needs_input_grad[1]
+            else None
+        )
+        return grad_a, grad_b
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad_output):
+        return (-grad_output,)
+
+
+class Pow(Function):
+    """Elementwise power with a constant (non-differentiated) exponent."""
+
+    def forward(self, a, exponent: float = 2.0):
+        self.exponent = float(exponent)
+        self.save_for_backward(np.asarray(a))
+        return a ** self.exponent
+
+    def backward(self, grad_output):
+        (a,) = self.saved_tensors
+        return (grad_output * self.exponent * a ** (self.exponent - 1.0),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_output):
+        (out,) = self.saved_tensors
+        return (grad_output * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(np.asarray(a))
+        return np.log(a)
+
+    def backward(self, grad_output):
+        (a,) = self.saved_tensors
+        return (grad_output / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        out = np.sqrt(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_output):
+        (out,) = self.saved_tensors
+        return (grad_output / (2.0 * out),)
+
+
+# --------------------------------------------------------------------------- #
+# Matrix multiplication
+# --------------------------------------------------------------------------- #
+class MatMul(Function):
+    """Batched matrix multiplication following numpy ``@`` semantics."""
+
+    def forward(self, a, b):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.ndim < 1 or b.ndim < 1:
+            raise ShapeError("matmul requires at least 1-dimensional operands")
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad_output):
+        a, b = self.saved_tensors
+        grad_a = grad_b = None
+        if self.needs_input_grad[0]:
+            if b.ndim == 1:
+                grad_a = np.outer(grad_output, b) if a.ndim > 1 else grad_output * b
+            else:
+                grad_a = grad_output @ np.swapaxes(b, -1, -2)
+            grad_a = unbroadcast(np.asarray(grad_a), a.shape)
+        if self.needs_input_grad[1]:
+            if a.ndim == 1:
+                grad_b = np.outer(a, grad_output) if b.ndim > 1 else a * grad_output
+            else:
+                grad_b = np.swapaxes(a, -1, -2) @ grad_output
+            grad_b = unbroadcast(np.asarray(grad_b), b.shape)
+        return grad_a, grad_b
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+class ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad_output):
+        (mask,) = self.saved_tensors
+        return (grad_output * mask,)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_output):
+        (out,) = self.saved_tensors
+        return (grad_output * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_output):
+        (out,) = self.saved_tensors
+        return (grad_output * out * (1.0 - out),)
+
+
+class GELU(Function):
+    """Gaussian Error Linear Unit using the tanh approximation (as in BERT)."""
+
+    _COEFF = 0.7978845608028654  # sqrt(2 / pi)
+
+    def forward(self, a):
+        a = np.asarray(a)
+        inner = self._COEFF * (a + 0.044715 * a ** 3)
+        tanh_inner = np.tanh(inner)
+        self.save_for_backward(a, tanh_inner)
+        return 0.5 * a * (1.0 + tanh_inner)
+
+    def backward(self, grad_output):
+        a, tanh_inner = self.saved_tensors
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = self._COEFF * (1.0 + 3.0 * 0.044715 * a ** 2)
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * a * sech2 * d_inner
+        return (grad_output * grad,)
+
+
+class Softmax(Function):
+    def forward(self, a, axis: int = -1):
+        self.axis = axis
+        shifted = a - np.max(a, axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        out = exps / np.sum(exps, axis=axis, keepdims=True)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_output):
+        (out,) = self.saved_tensors
+        dot = np.sum(grad_output * out, axis=self.axis, keepdims=True)
+        return (out * (grad_output - dot),)
+
+
+class LogSoftmax(Function):
+    def forward(self, a, axis: int = -1):
+        self.axis = axis
+        shifted = a - np.max(a, axis=axis, keepdims=True)
+        log_sum = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+        out = shifted - log_sum
+        self.save_for_backward(np.exp(out))
+        return out
+
+    def backward(self, grad_output):
+        (softmax_out,) = self.saved_tensors
+        summed = np.sum(grad_output, axis=self.axis, keepdims=True)
+        return (grad_output - softmax_out * summed,)
+
+
+# --------------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------------- #
+def _normalize_axis(axis, ndim: int) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+class Sum(Function):
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.input_shape = a.shape
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        return a.sum(axis=self.axis, keepdims=keepdims)
+
+    def backward(self, grad_output):
+        grad = np.asarray(grad_output)
+        if self.axis is not None and not self.keepdims:
+            grad = np.expand_dims(grad, self.axis)
+        return (np.broadcast_to(grad, self.input_shape).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.input_shape = a.shape
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        if self.axis is None:
+            self.count = a.size
+        else:
+            self.count = int(np.prod([a.shape[i] for i in self.axis]))
+        return a.mean(axis=self.axis, keepdims=keepdims)
+
+    def backward(self, grad_output):
+        grad = np.asarray(grad_output)
+        if self.axis is not None and not self.keepdims:
+            grad = np.expand_dims(grad, self.axis)
+        return (np.broadcast_to(grad, self.input_shape).copy() / self.count,)
+
+
+class Max(Function):
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        out = a.max(axis=self.axis, keepdims=True)
+        mask = (a == out)
+        # Split gradient equally among ties, matching a subgradient choice
+        # that keeps the parity experiments deterministic.
+        self.save_for_backward(mask / mask.sum(axis=self.axis, keepdims=True))
+        if not keepdims and self.axis is not None:
+            out = np.squeeze(out, axis=self.axis)
+        elif not keepdims and self.axis is None:
+            out = out.reshape(())
+        return out
+
+    def backward(self, grad_output):
+        (weights,) = self.saved_tensors
+        grad = np.asarray(grad_output)
+        if self.axis is not None and not self.keepdims:
+            grad = np.expand_dims(grad, self.axis)
+        return (weights * grad,)
+
+
+# --------------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------------- #
+class Reshape(Function):
+    def forward(self, a, shape: Tuple[int, ...] = ()):
+        a = np.asarray(a)
+        self.input_shape = a.shape
+        return a.reshape(shape)
+
+    def backward(self, grad_output):
+        return (np.asarray(grad_output).reshape(self.input_shape),)
+
+
+class Transpose(Function):
+    def forward(self, a, axes: Optional[Tuple[int, ...]] = None):
+        a = np.asarray(a)
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        self.axes = tuple(axes)
+        return np.transpose(a, self.axes)
+
+    def backward(self, grad_output):
+        inverse = np.argsort(self.axes)
+        return (np.transpose(np.asarray(grad_output), inverse),)
+
+
+class GetItem(Function):
+    def forward(self, a, index=None):
+        a = np.asarray(a)
+        self.input_shape = a.shape
+        self.input_dtype = a.dtype
+        self.index = index
+        return a[index]
+
+    def backward(self, grad_output):
+        grad = np.zeros(self.input_shape, dtype=np.result_type(self.input_dtype, np.float32))
+        np.add.at(grad, self.index, grad_output)
+        return (grad,)
+
+
+class Concat(Function):
+    """Concatenate along an axis; gradients are split back to the inputs."""
+
+    def forward(self, *arrays, axis: int = 0):
+        arrays = [np.asarray(a) for a in arrays]
+        self.axis = axis
+        self.sizes = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad_output):
+        splits = np.cumsum(self.sizes)[:-1]
+        pieces = np.split(np.asarray(grad_output), splits, axis=self.axis)
+        return tuple(
+            piece if needed else None
+            for piece, needed in zip(pieces, self.needs_input_grad)
+        )
+
+
+class Embedding(Function):
+    """Row gather: ``weight[indices]`` with scatter-add backward."""
+
+    def forward(self, weight, indices=None):
+        weight = np.asarray(weight)
+        self.indices = np.asarray(indices)
+        self.weight_shape = weight.shape
+        return weight[self.indices]
+
+    def backward(self, grad_output):
+        grad = np.zeros(self.weight_shape, dtype=np.asarray(grad_output).dtype)
+        np.add.at(grad, self.indices, grad_output)
+        return (grad,)
+
+
+class Where(Function):
+    """``np.where`` with a constant condition (condition is not differentiated)."""
+
+    def forward(self, a, b, condition=None):
+        self.condition = np.asarray(condition, dtype=bool)
+        self.a_shape, self.b_shape = np.shape(a), np.shape(b)
+        return np.where(self.condition, a, b)
+
+    def backward(self, grad_output):
+        grad_a = grad_b = None
+        if self.needs_input_grad[0]:
+            grad_a = unbroadcast(grad_output * self.condition, self.a_shape)
+        if self.needs_input_grad[1]:
+            grad_b = unbroadcast(grad_output * (~self.condition), self.b_shape)
+        return grad_a, grad_b
+
+
+class DropoutOp(Function):
+    """Inverted dropout with an externally supplied keep mask."""
+
+    def forward(self, a, mask=None, keep_prob: float = 1.0):
+        self.mask = np.asarray(mask)
+        self.keep_prob = float(keep_prob)
+        return a * self.mask / self.keep_prob
+
+    def backward(self, grad_output):
+        return (grad_output * self.mask / self.keep_prob,)
+
+
+# --------------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------------- #
+class CrossEntropyWithLogits(Function):
+    """Fused log-softmax + negative log-likelihood over integer class targets.
+
+    ``logits`` has shape (N, C); ``targets`` is an int array of shape (N,).
+    ``ignore_index`` rows contribute zero loss and zero gradient.
+    """
+
+    def forward(self, logits, targets=None, ignore_index: int = -100):
+        logits = np.asarray(logits)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ShapeError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets shape {targets.shape} incompatible with logits shape {logits.shape}"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        valid = targets != ignore_index
+        safe_targets = np.where(valid, targets, 0)
+        picked = log_probs[np.arange(logits.shape[0]), safe_targets]
+        count = int(valid.sum()) or 1
+        loss = -(picked * valid).sum() / count
+        self.save_for_backward(np.exp(log_probs), safe_targets, valid)
+        self.count = count
+        return np.asarray(loss, dtype=logits.dtype)
+
+    def backward(self, grad_output):
+        probs, targets, valid = self.saved_tensors
+        grad = probs.copy()
+        grad[np.arange(grad.shape[0]), targets] -= 1.0
+        grad *= valid[:, None]
+        grad /= self.count
+        return (grad * grad_output,)
+
+
+class MSELoss(Function):
+    """Mean squared error between predictions and constant targets."""
+
+    def forward(self, predictions, targets=None):
+        predictions = np.asarray(predictions)
+        targets = np.asarray(targets)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"mse shapes differ: {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        self.save_for_backward(diff)
+        return np.asarray((diff ** 2).mean(), dtype=predictions.dtype)
+
+    def backward(self, grad_output):
+        (diff,) = self.saved_tensors
+        return (grad_output * 2.0 * diff / diff.size,)
+
+
+# --------------------------------------------------------------------------- #
+# Functional API
+# --------------------------------------------------------------------------- #
+def add(a, b):
+    return Add.apply(a, b)
+
+
+def sub(a, b):
+    return Sub.apply(a, b)
+
+
+def mul(a, b):
+    return Mul.apply(a, b)
+
+
+def div(a, b):
+    return Div.apply(a, b)
+
+
+def neg(a):
+    return Neg.apply(a)
+
+
+def pow(a, exponent: float):  # noqa: A001 - mirrors the Tensor.__pow__ operator
+    return Pow.apply(a, exponent=exponent)
+
+
+def exp(a):
+    return Exp.apply(a)
+
+
+def log(a):
+    return Log.apply(a)
+
+
+def sqrt(a):
+    return Sqrt.apply(a)
+
+
+def matmul(a, b):
+    return MatMul.apply(a, b)
+
+
+def relu(a):
+    return ReLU.apply(a)
+
+
+def tanh(a):
+    return Tanh.apply(a)
+
+
+def sigmoid(a):
+    return Sigmoid.apply(a)
+
+
+def gelu(a):
+    return GELU.apply(a)
+
+
+def softmax(a, axis: int = -1):
+    return Softmax.apply(a, axis=axis)
+
+
+def log_softmax(a, axis: int = -1):
+    return LogSoftmax.apply(a, axis=axis)
+
+
+def sum(a, axis=None, keepdims: bool = False):  # noqa: A001 - functional mirror of Tensor.sum
+    return Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis=None, keepdims: bool = False):
+    return Mean.apply(a, axis=axis, keepdims=keepdims)
+
+
+def max(a, axis=None, keepdims: bool = False):  # noqa: A001
+    return Max.apply(a, axis=axis, keepdims=keepdims)
+
+
+def reshape(a, shape: Sequence[int]):
+    return Reshape.apply(a, shape=tuple(shape))
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None):
+    return Transpose.apply(a, axes=tuple(axes) if axes is not None else None)
+
+
+def getitem(a, index):
+    return GetItem.apply(a, index=index)
+
+
+def concat(tensors: Sequence, axis: int = 0):
+    return Concat.apply(*tensors, axis=axis)
+
+
+def embedding(weight, indices):
+    indices = indices.data if hasattr(indices, "data") else np.asarray(indices)
+    return Embedding.apply(weight, indices=indices)
+
+
+def where(condition, a, b):
+    condition = condition.data if hasattr(condition, "data") else np.asarray(condition)
+    return Where.apply(a, b, condition=condition)
+
+
+def dropout(a, mask, keep_prob: float):
+    return DropoutOp.apply(a, mask=mask, keep_prob=keep_prob)
+
+
+def cross_entropy(logits, targets, ignore_index: int = -100):
+    targets = targets.data if hasattr(targets, "data") else np.asarray(targets)
+    return CrossEntropyWithLogits.apply(logits, targets=targets, ignore_index=ignore_index)
+
+
+def mse_loss(predictions, targets):
+    targets = targets.data if hasattr(targets, "data") else np.asarray(targets)
+    return MSELoss.apply(predictions, targets=targets)

@@ -1,0 +1,331 @@
+"""The :class:`Tensor` class: a numpy array plus an autograd graph node."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import AutogradError
+
+_grad_enabled = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations are currently recorded onto the autograd graph."""
+    return _grad_enabled
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording (e.g. for evaluation)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def _ops():
+    """Late import of the op library to avoid a circular module dependency."""
+    from repro.autograd import ops
+    return ops
+
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+class Tensor:
+    """A multi-dimensional array that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Floating-point data defaults to
+        ``float32`` (matching typical GPU training precision) unless the
+        input array is already ``float64``.
+    requires_grad:
+        If ``True``, gradients with respect to this tensor are accumulated
+        into :attr:`grad` during :meth:`backward`.
+    name:
+        Optional identifier used in error messages and debugging output.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_ctx")
+
+    def __init__(self, data, requires_grad: bool = False, name: Optional[str] = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        came_from_ndarray = isinstance(data, (np.ndarray, np.generic))
+        array = np.asarray(data)
+        if not came_from_ndarray and array.dtype == np.float64:
+            # Python lists / scalars default to float32 (GPU training precision);
+            # explicit float64 numpy arrays are preserved for high-precision checks.
+            array = array.astype(np.float32)
+        if array.dtype == np.float16:
+            array = array.astype(np.float32)
+        elif array.dtype not in (np.float32, np.float64):
+            if np.issubdtype(array.dtype, np.floating):
+                array = array.astype(np.float32)
+            elif np.issubdtype(array.dtype, np.integer) or array.dtype == np.bool_:
+                # Integer tensors (e.g. token ids, labels) are kept as int64.
+                array = array.astype(np.int64)
+            else:
+                raise TypeError(f"unsupported tensor dtype: {array.dtype}")
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self.name = name
+        self._ctx = None
+        if self.requires_grad and not np.issubdtype(self.data.dtype, np.floating):
+            raise AutogradError("only floating-point tensors can require gradients")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def copy(self) -> "Tensor":
+        """Return a deep copy (data copied, graph not carried over)."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Autograd
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1.0 and may only be omitted for scalar outputs
+        (e.g. a loss value).
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError(
+                    "backward() without an explicit gradient is only valid for scalar tensors"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise AutogradError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        ordering = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self.grad = _accumulate(self.grad, grad)
+
+        for node in ordering:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._ctx is None:
+                continue
+            parent_grads = node._ctx.propagate(node_grad)
+            for parent, parent_grad in zip(node._ctx.parents, parent_grads):
+                if parent is None or parent_grad is None:
+                    continue
+                if not parent.requires_grad:
+                    continue
+                parent_grad = np.asarray(parent_grad)
+                if parent_grad.shape != parent.data.shape:
+                    raise AutogradError(
+                        f"{type(node._ctx).__name__} produced gradient of shape "
+                        f"{parent_grad.shape} for input of shape {parent.data.shape}"
+                    )
+                grads[id(parent)] = _accumulate(grads.get(id(parent)), parent_grad)
+                if parent._ctx is None:
+                    # Leaf tensor: accumulate into .grad
+                    parent.grad = _accumulate(parent.grad, parent_grad)
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Return graph nodes reachable from ``self`` in reverse topological order."""
+        visited: Set[int] = set()
+        order: List[Tensor] = []
+
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node._ctx is not None:
+                for parent in node._ctx.parents:
+                    if parent is not None and id(parent) not in visited:
+                        stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False, dtype=np.float32) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False, dtype=np.float32) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int], value: float, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.full(shape, value, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None,
+              scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+        from repro.utils.rng import get_rng
+        generator = rng if rng is not None else get_rng()
+        data = generator.normal(0.0, scale, size=shape).astype(np.float32)
+        return Tensor(data, requires_grad=requires_grad)
+
+    @staticmethod
+    def arange(n: int, dtype=np.int64) -> "Tensor":
+        return Tensor(np.arange(n, dtype=dtype))
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic operators (delegate to the op library)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return _ops().add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return _ops().add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return _ops().sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _ops().sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return _ops().mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return _ops().mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return _ops().div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _ops().div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        return _ops().neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return _ops().pow(self, exponent)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return _ops().matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        return _ops().getitem(self, index)
+
+    # ------------------------------------------------------------------ #
+    # Math / shape methods
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        return _ops().matmul(self, other)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return _ops().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return _ops().mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return _ops().max(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return _ops().reshape(self, shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        return _ops().transpose(self, axes if axes else None)
+
+    def exp(self) -> "Tensor":
+        return _ops().exp(self)
+
+    def log(self) -> "Tensor":
+        return _ops().log(self)
+
+    def sqrt(self) -> "Tensor":
+        return _ops().sqrt(self)
+
+    def tanh(self) -> "Tensor":
+        return _ops().tanh(self)
+
+    def relu(self) -> "Tensor":
+        return _ops().relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        return _ops().sigmoid(self)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return _ops().softmax(self, axis=axis)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        return _ops().log_softmax(self, axis=axis)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{grad_flag}{label})"
+
+
+def _accumulate(existing: Optional[np.ndarray], update: np.ndarray) -> np.ndarray:
+    """Sum gradients, handling the first contribution."""
+    if existing is None:
+        return update.copy() if update.base is not None else update
+    return existing + update

@@ -1,0 +1,21 @@
+"""Simulated multi-GPU cluster: devices, interconnect, and event-driven execution."""
+
+from repro.cluster.device import DeviceSpec, Device, GPU_PRESETS
+from repro.cluster.interconnect import LinkSpec, Interconnect, INTERCONNECT_PRESETS
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import SimTask, ClusterSimulator
+from repro.cluster.trace import TaskRecord, ExecutionTrace
+
+__all__ = [
+    "DeviceSpec",
+    "Device",
+    "GPU_PRESETS",
+    "LinkSpec",
+    "Interconnect",
+    "INTERCONNECT_PRESETS",
+    "Cluster",
+    "SimTask",
+    "ClusterSimulator",
+    "TaskRecord",
+    "ExecutionTrace",
+]

@@ -1,0 +1,76 @@
+"""A cluster: a named set of devices plus their interconnect."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.device import Device, DeviceSpec, GPU_PRESETS
+from repro.cluster.interconnect import Interconnect, INTERCONNECT_PRESETS, LinkSpec
+from repro.exceptions import ConfigurationError
+
+
+class Cluster:
+    """The simulated training hardware.
+
+    :meth:`single_server` builds the paper's testbed (``n`` identical GPUs on
+    one PCIe server).  Device names are ``gpu0``, ``gpu1``, ... .
+    """
+
+    def __init__(self, devices: List[Device], interconnect: Optional[Interconnect] = None):
+        if not devices:
+            raise ConfigurationError("a cluster needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate device names in cluster: {names}")
+        self.devices: List[Device] = list(devices)
+        self._by_name: Dict[str, Device] = {d.name: d for d in devices}
+        self.interconnect = interconnect if interconnect is not None else Interconnect()
+
+    @classmethod
+    def single_server(
+        cls,
+        num_devices: int = 4,
+        gpu: str | DeviceSpec = "v100-16gb",
+        link: str | LinkSpec = "pcie-gen3",
+    ) -> "Cluster":
+        """Build an ``num_devices``-GPU single-server cluster.
+
+        The default (4 × 16 GB V100 over PCIe gen3) is the configuration the
+        paper evaluates on.
+        """
+        if num_devices <= 0:
+            raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+        spec = GPU_PRESETS[gpu] if isinstance(gpu, str) else gpu
+        link_spec = INTERCONNECT_PRESETS[link] if isinstance(link, str) else link
+        devices = [Device(spec, name=f"gpu{i}") for i in range(num_devices)]
+        return cls(devices, Interconnect(default_link=link_spec))
+
+    # ------------------------------------------------------------------ #
+    def device(self, name: str) -> Device:
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"unknown device {name!r}; cluster has {sorted(self._by_name)}"
+            )
+        return self._by_name[name]
+
+    def device_names(self) -> List[str]:
+        return [d.name for d in self.devices]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(d.spec.memory_bytes for d in self.devices)
+
+    def reset(self) -> None:
+        """Clear all device memory ledgers (between experiments)."""
+        for device in self.devices:
+            device.reset()
+
+    def transfer_time(self, num_bytes: int, src: str, dst: str) -> float:
+        return self.interconnect.transfer_time(num_bytes, src, dst)
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{d.name}:{d.spec.name}" for d in self.devices)
+        return f"Cluster([{kinds}])"

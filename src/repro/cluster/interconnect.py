@@ -1,0 +1,73 @@
+"""Interconnect model: how long moving bytes between devices takes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link characterised by bandwidth and latency."""
+
+    name: str
+    bandwidth_bytes_per_second: float
+    latency_seconds: float
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Latency plus serialisation delay for ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_seconds + num_bytes / self.bandwidth_bytes_per_second
+
+
+#: common intra-server links
+INTERCONNECT_PRESETS: Dict[str, LinkSpec] = {
+    "pcie-gen3": LinkSpec("pcie-gen3", bandwidth_bytes_per_second=12.0e9, latency_seconds=10e-6),
+    "pcie-gen4": LinkSpec("pcie-gen4", bandwidth_bytes_per_second=24.0e9, latency_seconds=8e-6),
+    "nvlink2": LinkSpec("nvlink2", bandwidth_bytes_per_second=150.0e9, latency_seconds=5e-6),
+    "ethernet-25g": LinkSpec("ethernet-25g", bandwidth_bytes_per_second=3.1e9, latency_seconds=50e-6),
+}
+
+
+class Interconnect:
+    """Pairwise link model between named devices.
+
+    By default every device pair shares a single homogeneous ``default_link``
+    (the paper's testbed is one PCIe server); specific pairs can be
+    overridden, e.g. to model NVLink islands.
+    """
+
+    def __init__(self, default_link: LinkSpec = INTERCONNECT_PRESETS["pcie-gen3"]):
+        self.default_link = default_link
+        self._overrides: Dict[Tuple[str, str], LinkSpec] = {}
+
+    def set_link(self, device_a: str, device_b: str, link: LinkSpec) -> None:
+        """Override the link between a specific unordered device pair."""
+        if device_a == device_b:
+            raise ConfigurationError("cannot set a link from a device to itself")
+        self._overrides[self._key(device_a, device_b)] = link
+
+    def link_between(self, src: str, dst: str) -> Optional[LinkSpec]:
+        """The link used between two devices, or ``None`` if they are the same device."""
+        if src == dst:
+            return None
+        return self._overrides.get(self._key(src, dst), self.default_link)
+
+    def transfer_time(self, num_bytes: int, src: str, dst: str) -> float:
+        """Seconds to move ``num_bytes`` from ``src`` to ``dst`` (0 if same device)."""
+        link = self.link_between(src, dst)
+        if link is None:
+            return 0.0
+        return link.transfer_time(num_bytes)
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def __repr__(self) -> str:
+        return f"Interconnect(default={self.default_link.name}, overrides={len(self._overrides)})"

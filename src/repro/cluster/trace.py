@@ -1,0 +1,151 @@
+"""Execution traces: what ran where, when — and the derived metrics.
+
+The paper's evaluation quantities (device utilization for Figure 1 and
+desideratum D1, makespan/speedup for Figure 2 and desideratum D2, per-device
+memory for the §4.2 result) are all computed from an :class:`ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task: identity, placement, timing."""
+
+    task_id: str
+    device: str
+    start: float
+    end: float
+    compute_seconds: float
+    transfer_seconds: float
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """The full record of one simulated run."""
+
+    device_names: List[str]
+    records: List[TaskRecord] = field(default_factory=list)
+    peak_memory_bytes: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Core metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """End time of the last task (simulation starts at t=0)."""
+        if not self.records:
+            return 0.0
+        return max(record.end for record in self.records)
+
+    def busy_seconds(self, device: Optional[str] = None) -> float:
+        """Total seconds the device (or all devices) spent occupied by tasks."""
+        return sum(
+            record.duration
+            for record in self.records
+            if device is None or record.device == device
+        )
+
+    def compute_seconds(self, device: Optional[str] = None) -> float:
+        """Seconds spent on useful compute (excluding inter-device transfers)."""
+        return sum(
+            record.compute_seconds
+            for record in self.records
+            if device is None or record.device == device
+        )
+
+    def utilization(self, device: Optional[str] = None) -> float:
+        """Busy time divided by wall-clock time.
+
+        With ``device=None`` this is the cluster-average utilization:
+        total busy time over (makespan × number of devices).
+        """
+        span = self.makespan
+        if span == 0:
+            return 0.0
+        if device is not None:
+            return self.busy_seconds(device) / span
+        return self.busy_seconds() / (span * len(self.device_names))
+
+    def per_device_utilization(self) -> Dict[str, float]:
+        return {name: self.utilization(name) for name in self.device_names}
+
+    def idle_seconds(self, device: str) -> float:
+        return self.makespan - self.busy_seconds(device)
+
+    def throughput(self, units: float) -> float:
+        """``units`` of work (samples, batches, tasks) per simulated second."""
+        span = self.makespan
+        return units / span if span > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def records_for(self, device: Optional[str] = None, **tag_filters) -> List[TaskRecord]:
+        """Records matching a device and/or tag equality filters."""
+        matched = []
+        for record in self.records:
+            if device is not None and record.device != device:
+                continue
+            if all(record.tags.get(key) == value for key, value in tag_filters.items()):
+                matched.append(record)
+        return matched
+
+    def gantt_rows(self) -> List[Tuple[str, str, float, float]]:
+        """(device, task_id, start, end) rows sorted by device then start time."""
+        rows = [
+            (record.device, record.task_id, record.start, record.end)
+            for record in self.records
+        ]
+        return sorted(rows, key=lambda row: (row[0], row[2]))
+
+    @staticmethod
+    def concatenate(traces: List["ExecutionTrace"]) -> "ExecutionTrace":
+        """Join traces end-to-end in time (used for wave-by-wave execution).
+
+        Each trace's records are shifted by the cumulative makespan of the
+        traces before it; peak memory is the per-device maximum over traces.
+        """
+        if not traces:
+            raise ValueError("concatenate requires at least one trace")
+        device_names = traces[0].device_names
+        records: List[TaskRecord] = []
+        peak: Dict[str, int] = {}
+        offset = 0.0
+        for trace in traces:
+            if trace.device_names != device_names:
+                raise ValueError("cannot concatenate traces from different clusters")
+            for record in trace.records:
+                records.append(
+                    TaskRecord(
+                        task_id=record.task_id,
+                        device=record.device,
+                        start=record.start + offset,
+                        end=record.end + offset,
+                        compute_seconds=record.compute_seconds,
+                        transfer_seconds=record.transfer_seconds,
+                        tags=dict(record.tags),
+                    )
+                )
+            for name, value in trace.peak_memory_bytes.items():
+                peak[name] = max(peak.get(name, 0), value)
+            offset += trace.makespan
+        return ExecutionTrace(device_names=device_names, records=records, peak_memory_bytes=peak)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics as a plain dict (used by benchmark reports)."""
+        return {
+            "makespan_seconds": self.makespan,
+            "num_tasks": len(self.records),
+            "cluster_utilization": self.utilization(),
+            "per_device_utilization": self.per_device_utilization(),
+            "peak_memory_bytes": dict(self.peak_memory_bytes),
+        }

@@ -1,0 +1,21 @@
+"""Datasets, loaders, and synthetic workload generators."""
+
+from repro.data.dataset import Dataset, ArrayDataset, Subset
+from repro.data.dataloader import DataLoader, Batch
+from repro.data.synthetic import make_classification, make_regression, make_xor
+from repro.data.text import SyntheticSpanDataset, make_span_extraction
+from repro.data.partition import partition_dataset
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "Batch",
+    "make_classification",
+    "make_regression",
+    "make_xor",
+    "SyntheticSpanDataset",
+    "make_span_extraction",
+    "partition_dataset",
+]

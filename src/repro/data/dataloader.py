@@ -1,0 +1,95 @@
+"""Mini-batch loading."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import get_rng
+
+
+@dataclass
+class Batch:
+    """A stacked mini-batch: field name -> array of shape (batch, ...)."""
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    @property
+    def size(self) -> int:
+        """Number of examples in the batch."""
+        first = next(iter(self.arrays.values()))
+        return len(first)
+
+    def keys(self):
+        return self.arrays.keys()
+
+
+class DataLoader:
+    """Iterates a dataset in mini-batches.
+
+    Shuffling uses a private generator seeded per epoch from ``seed`` so the
+    batch order is reproducible and identical between the sharded and
+    unsharded training runs compared in the gradient-parity experiments.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def set_epoch(self, epoch: int) -> None:
+        """Set the epoch counter used to derive the shuffle order."""
+        self._epoch = int(epoch)
+
+    def __iter__(self) -> Iterator[Batch]:
+        n = len(self.dataset)
+        epoch = self._epoch
+        self._epoch += 1
+        indices = np.arange(n)
+        if self.shuffle:
+            if self.seed is not None:
+                generator = np.random.default_rng((self.seed, epoch))
+            else:
+                generator = get_rng()
+            indices = generator.permutation(n)
+        return self._batches(indices)
+
+    def _batches(self, indices: np.ndarray) -> Iterator[Batch]:
+        n = len(indices)
+        for start in range(0, n, self.batch_size):
+            chunk = indices[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            examples = [self.dataset[int(i)] for i in chunk]
+            stacked = {
+                name: np.stack([np.asarray(example[name]) for example in examples])
+                for name in examples[0]
+            }
+            yield Batch(stacked)

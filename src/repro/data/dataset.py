@@ -1,0 +1,71 @@
+"""Dataset abstractions.
+
+A dataset is a sized, indexable collection of examples; each example is a
+``dict`` mapping field names (``"features"``, ``"label"``, ``"input_ids"``,
+...) to numpy arrays or scalars.  The dict convention lets the same loader
+serve both the tabular feedforward workload and the token-based BERT
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract base: subclasses implement ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Dict[str, np.ndarray]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def fields(self) -> List[str]:
+        """Names of the per-example fields (taken from the first example)."""
+        if len(self) == 0:
+            return []
+        return sorted(self[0].keys())
+
+
+class ArrayDataset(Dataset):
+    """Wraps parallel arrays into a dataset.
+
+    ``ArrayDataset(features=X, label=y)`` yields ``{"features": X[i], "label": y[i]}``.
+    """
+
+    def __init__(self, **arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("ArrayDataset requires at least one array")
+        lengths = {name: len(values) for name, values in arrays.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"all arrays must have the same length, got {lengths}")
+        self._arrays = {name: np.asarray(values) for name, values in arrays.items()}
+        self._length = next(iter(lengths.values()))
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> Dict[str, np.ndarray]:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range for dataset of size {self._length}")
+        return {name: values[index] for name, values in self._arrays.items()}
+
+
+class Subset(Dataset):
+    """A view of a dataset restricted to a list of indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(int(i) for i in indices)
+        for i in self.indices:
+            if not 0 <= i < len(dataset):
+                raise IndexError(f"subset index {i} out of range for dataset of size {len(dataset)}")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Dict[str, np.ndarray]:
+        return self.dataset[self.indices[index]]

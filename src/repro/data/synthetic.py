@@ -1,0 +1,64 @@
+"""Synthetic tabular datasets for the feedforward-network workloads."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import get_rng
+
+
+def make_classification(
+    num_samples: int = 1024,
+    num_features: int = 64,
+    num_classes: int = 10,
+    class_separation: float = 2.0,
+    noise: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> ArrayDataset:
+    """Gaussian-blob multi-class classification data.
+
+    Each class is an isotropic Gaussian around a random centroid; larger
+    ``class_separation`` relative to ``noise`` makes the task easier, which
+    the example scripts use to show models actually learn.
+    """
+    generator = rng if rng is not None else get_rng()
+    centroids = generator.normal(0.0, class_separation, size=(num_classes, num_features))
+    labels = generator.integers(0, num_classes, size=num_samples)
+    features = centroids[labels] + generator.normal(0.0, noise, size=(num_samples, num_features))
+    return ArrayDataset(
+        features=features.astype(np.float32),
+        label=labels.astype(np.int64),
+    )
+
+
+def make_regression(
+    num_samples: int = 1024,
+    num_features: int = 32,
+    noise: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> ArrayDataset:
+    """Linear regression targets with Gaussian noise."""
+    generator = rng if rng is not None else get_rng()
+    weights = generator.normal(0.0, 1.0, size=(num_features, 1))
+    features = generator.normal(0.0, 1.0, size=(num_samples, num_features))
+    targets = features @ weights + generator.normal(0.0, noise, size=(num_samples, 1))
+    return ArrayDataset(
+        features=features.astype(np.float32),
+        target=targets.astype(np.float32),
+    )
+
+
+def make_xor(
+    num_samples: int = 512,
+    noise: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> ArrayDataset:
+    """The classic non-linearly-separable XOR dataset in 2-D."""
+    generator = rng if rng is not None else get_rng()
+    signs = generator.integers(0, 2, size=(num_samples, 2))
+    labels = (signs[:, 0] ^ signs[:, 1]).astype(np.int64)
+    features = signs * 2.0 - 1.0 + generator.normal(0.0, noise, size=(num_samples, 2))
+    return ArrayDataset(features=features.astype(np.float32), label=labels)

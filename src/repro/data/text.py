@@ -1,0 +1,109 @@
+"""Synthetic span-extraction data standing in for SQuAD.
+
+The paper fine-tunes BERT-Large on SQuAD (question answering by predicting
+an answer span inside a context).  Real SQuAD is unavailable offline, so
+:func:`make_span_extraction` builds sequences with the same task shape: a
+"question" token segment, a separator, a "context" segment, and a contiguous
+answer span whose start/end positions are the labels.  The answer span is
+marked by correlated token patterns so that an attention model can actually
+learn the task (accuracy rises above chance in the examples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import get_rng
+
+PAD_TOKEN = 0
+CLS_TOKEN = 1
+SEP_TOKEN = 2
+_SPECIAL_TOKENS = 3
+
+
+class SyntheticSpanDataset(Dataset):
+    """Token sequences with an answer span to be located.
+
+    Each example contains ``input_ids``, ``attention_mask``, ``start_position``
+    and ``end_position`` — the same fields a SQuAD fine-tuning pipeline feeds
+    to BERT.
+    """
+
+    def __init__(
+        self,
+        num_samples: int = 256,
+        seq_len: int = 64,
+        vocab_size: int = 128,
+        max_answer_len: int = 6,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if vocab_size <= _SPECIAL_TOKENS + 2:
+            raise ValueError("vocab_size too small for special tokens plus content tokens")
+        if seq_len < 8:
+            raise ValueError("seq_len must be at least 8")
+        generator = rng if rng is not None else get_rng()
+        self.num_samples = int(num_samples)
+        self.seq_len = int(seq_len)
+        self.vocab_size = int(vocab_size)
+        self.max_answer_len = int(max_answer_len)
+        self._examples = [
+            self._generate_example(generator) for _ in range(self.num_samples)
+        ]
+
+    def _generate_example(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        seq_len = self.seq_len
+        # Layout: [CLS] question(q_len) [SEP] context(...) [SEP]
+        question_len = int(rng.integers(3, max(4, seq_len // 8) + 1))
+        context_start = 1 + question_len + 1
+        context_end = seq_len - 1  # final SEP
+        tokens = rng.integers(_SPECIAL_TOKENS, self.vocab_size, size=seq_len)
+        tokens[0] = CLS_TOKEN
+        tokens[1 + question_len] = SEP_TOKEN
+        tokens[seq_len - 1] = SEP_TOKEN
+
+        # The "question" is a single query token repeated; the answer span in
+        # the context is the run of positions holding that same token.
+        query_token = int(rng.integers(_SPECIAL_TOKENS, self.vocab_size))
+        tokens[1:1 + question_len] = query_token
+        answer_len = int(rng.integers(1, self.max_answer_len + 1))
+        max_start = context_end - answer_len
+        answer_start = int(rng.integers(context_start, max(max_start, context_start) + 1))
+        answer_end = answer_start + answer_len - 1
+        # Remove accidental occurrences of the query token elsewhere in the context.
+        context_slice = slice(context_start, context_end)
+        context = tokens[context_slice]
+        collisions = context == query_token
+        context[collisions] = (context[collisions] + 1 - _SPECIAL_TOKENS) % (
+            self.vocab_size - _SPECIAL_TOKENS
+        ) + _SPECIAL_TOKENS
+        tokens[context_slice] = context
+        tokens[answer_start:answer_end + 1] = query_token
+
+        attention_mask = np.ones(seq_len, dtype=np.int64)
+        return {
+            "input_ids": tokens.astype(np.int64),
+            "attention_mask": attention_mask,
+            "start_position": np.int64(answer_start),
+            "end_position": np.int64(answer_end),
+        }
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int) -> Dict[str, np.ndarray]:
+        return self._examples[index]
+
+
+def make_span_extraction(
+    num_samples: int = 256,
+    seq_len: int = 64,
+    vocab_size: int = 128,
+    rng: Optional[np.random.Generator] = None,
+) -> SyntheticSpanDataset:
+    """Convenience constructor mirroring the other ``make_*`` helpers."""
+    return SyntheticSpanDataset(
+        num_samples=num_samples, seq_len=seq_len, vocab_size=vocab_size, rng=rng
+    )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro (Hydra reproduction) package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` from user
+code) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AutogradError(ReproError):
+    """Raised for invalid autograd usage (e.g. backward on a non-scalar)."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model, device, or scheduler configuration is invalid."""
+
+
+class PartitionError(ReproError):
+    """Raised when a model cannot be partitioned under the given constraints."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a schedule cannot be constructed or executed."""
+
+
+class OutOfDeviceMemoryError(SchedulingError):
+    """Raised when a placement would exceed a simulated device's memory."""
+
+    def __init__(self, device_name: str, requested_bytes: int, available_bytes: int):
+        self.device_name = device_name
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+        super().__init__(
+            f"device {device_name!r}: requested {requested_bytes} bytes but only "
+            f"{available_bytes} bytes are free"
+        )
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""
+
+
+class SearchSpaceError(ReproError):
+    """Raised for invalid model-selection search-space definitions."""
+
+
+class CheckpointError(ReproError):
+    """Raised when saving or restoring a checkpoint fails."""

@@ -1,0 +1,225 @@
+"""Top-level facade: the API a Hydra user would program against.
+
+Two usage modes mirror the two execution backends described in DESIGN.md:
+
+* **Simulation** (:meth:`HydraSession.simulate`, :meth:`HydraSession.compare_strategies`)
+  — cost-model-driven execution of BERT-Large-scale multi-model workloads on
+  a simulated GPU cluster; produces makespan/utilization/memory numbers.
+* **Real training** (:func:`run_model_selection`) — actually trains a set of
+  candidate models on the numpy engine with Hydra-style shard-parallel
+  interleaving, and returns the ranked trial results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.models.base import ShardableModel
+from repro.optim.optimizer import Optimizer
+from repro.profiling.cost_model import ModelProfile
+from repro.scheduler.base import ScheduleResult, Strategy
+from repro.scheduler.hybrid import HybridShardDataParallelStrategy
+from repro.scheduler.model_parallel import ModelParallelStrategy
+from repro.scheduler.policies import get_policy
+from repro.scheduler.shard_parallel import ShardParallelStrategy
+from repro.scheduler.single_device import SingleDeviceStrategy
+from repro.scheduler.task import TrainingJob
+from repro.scheduler.task_parallel import TaskParallelStrategy
+from repro.selection.experiment import ExperimentTracker, SelectionResult
+from repro.sharding.partitioner import make_plan, partition_uniform
+from repro.sharding.plan import ShardingPlan
+from repro.training.sharded_trainer import ShardParallelTrainer
+
+#: fraction of device memory the planner leaves free for workspace/fragmentation
+_MEMORY_HEADROOM = 0.9
+
+_STRATEGIES: Dict[str, Callable[..., Strategy]] = {
+    "single-device": SingleDeviceStrategy,
+    "task-parallel": TaskParallelStrategy,
+    "model-parallel": ModelParallelStrategy,
+    "shard-parallel": ShardParallelStrategy,
+    "hybrid": HybridShardDataParallelStrategy,
+}
+
+
+@dataclass(frozen=True)
+class HydraConfig:
+    """Cluster and scheduling configuration for a Hydra session."""
+
+    num_devices: int = 4
+    gpu: str = "v100-16gb"
+    link: str = "pcie-gen3"
+    policy: str = "critical_path"
+    default_batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ConfigurationError("num_devices must be positive")
+        if self.default_batch_size <= 0:
+            raise ConfigurationError("default_batch_size must be positive")
+
+
+class HydraSession:
+    """Holds a simulated cluster and provides planning / scheduling entry points."""
+
+    def __init__(self, config: Optional[HydraConfig] = None):
+        self.config = config if config is not None else HydraConfig()
+        self.cluster = Cluster.single_server(
+            num_devices=self.config.num_devices, gpu=self.config.gpu, link=self.config.link
+        )
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan_model(
+        self,
+        model_id: str,
+        profile: ModelProfile,
+        batch_size: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        strategy: str = "min_max",
+    ) -> ShardingPlan:
+        """Shard a model for this session's devices.
+
+        With ``num_shards=None`` the planner picks the smallest shard count
+        that fits the per-device memory budget (90 % of capacity).
+        """
+        batch = batch_size if batch_size is not None else self.config.default_batch_size
+        if num_shards is not None:
+            return make_plan(model_id, profile, batch_size=batch, num_shards=num_shards,
+                             strategy=strategy)
+        # Find the minimal shard count that fits the budget, then rebalance the
+        # boundaries with the min-max partitioner so shards are evenly sized
+        # (greedy bin-packing alone can leave one huge shard and one sliver).
+        device_budget = int(self.cluster.devices[0].spec.memory_bytes * _MEMORY_HEADROOM)
+        minimal = make_plan(model_id, profile, batch_size=batch,
+                            memory_limit_bytes=device_budget)
+        shard_count = minimal.num_shards
+        while True:
+            plan = make_plan(model_id, profile, batch_size=batch, num_shards=shard_count,
+                             strategy=strategy)
+            if plan.max_shard_working_bytes <= device_budget:
+                break
+            shard_count += 1
+            if shard_count > len(profile):
+                raise ConfigurationError(
+                    f"model {model_id!r} cannot be partitioned to fit a "
+                    f"{device_budget}-byte device budget"
+                )
+        if plan.num_shards > len(self.cluster):
+            raise ConfigurationError(
+                f"model {model_id!r} needs {plan.num_shards} shards but the cluster has "
+                f"{len(self.cluster)} devices"
+            )
+        return plan
+
+    def make_job(
+        self,
+        model_id: str,
+        profile: ModelProfile,
+        num_epochs: int = 1,
+        batches_per_epoch: int = 1,
+        batch_size: Optional[int] = None,
+        num_shards: Optional[int] = None,
+    ) -> TrainingJob:
+        """Plan a model and wrap it into a :class:`TrainingJob`."""
+        batch = batch_size if batch_size is not None else self.config.default_batch_size
+        plan = self.plan_model(model_id, profile, batch_size=batch, num_shards=num_shards)
+        return TrainingJob(
+            model_id=model_id,
+            plan=plan,
+            num_epochs=num_epochs,
+            batches_per_epoch=batches_per_epoch,
+            samples_per_batch=batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def make_strategy(self, name: str, **kwargs) -> Strategy:
+        if name not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {name!r}; available: {sorted(_STRATEGIES)}"
+            )
+        factory = _STRATEGIES[name]
+        if name in ("shard-parallel", "hybrid") and "policy" not in kwargs:
+            kwargs["policy"] = get_policy(self.config.policy)
+        return factory(**kwargs)
+
+    def simulate(self, jobs: Sequence[TrainingJob], strategy: str = "shard-parallel",
+                 **strategy_kwargs) -> ScheduleResult:
+        """Simulate running ``jobs`` under one strategy on a fresh cluster."""
+        self.cluster.reset()
+        return self.make_strategy(strategy, **strategy_kwargs).schedule(jobs, self.cluster)
+
+    def compare_strategies(
+        self,
+        jobs: Sequence[TrainingJob],
+        strategies: Sequence[str] = ("task-parallel", "model-parallel", "shard-parallel"),
+    ) -> Dict[str, ScheduleResult]:
+        """Simulate the same jobs under several strategies (skipping infeasible ones)."""
+        results: Dict[str, ScheduleResult] = {}
+        for name in strategies:
+            self.cluster.reset()
+            try:
+                results[name] = self.make_strategy(name).schedule(jobs, self.cluster)
+            except Exception as error:  # noqa: BLE001 - infeasibility is a result here
+                from repro.exceptions import SchedulingError
+                if isinstance(error, SchedulingError):
+                    results[name] = None  # type: ignore[assignment]
+                else:
+                    raise
+        return results
+
+    def available_strategies(self) -> List[str]:
+        return sorted(_STRATEGIES)
+
+
+#: a model builder returns (model, optimizer, dataloader) for one trial
+ModelBuilder = Callable[[], Tuple[ShardableModel, Optimizer, DataLoader]]
+
+
+def run_model_selection(
+    builders: Dict[str, ModelBuilder],
+    num_devices: int = 2,
+    num_epochs: int = 1,
+    num_shards: Optional[int] = None,
+    objective: str = "loss",
+    mode: str = "min",
+) -> SelectionResult:
+    """Really train a set of candidate models with shard-parallel interleaving.
+
+    ``builders`` maps trial ids to zero-argument callables producing the
+    model, its optimizer, and its data loader.  Every model is split into
+    ``num_shards`` shards (default: one shard per block, capped at the device
+    count) and trained for ``num_epochs`` epochs; the returned
+    :class:`SelectionResult` ranks trials by their final-epoch ``objective``.
+    """
+    if not builders:
+        raise ConfigurationError("run_model_selection needs at least one model builder")
+    trainer = ShardParallelTrainer(num_devices=num_devices)
+    hyperparameters: Dict[str, Dict[str, object]] = {}
+    for trial_id, builder in builders.items():
+        model, optimizer, loader = builder()
+        shard_count = num_shards
+        if shard_count is None:
+            shard_count = min(model.num_blocks(), num_devices)
+        boundaries = partition_uniform(model.profile(), shard_count)
+        trainer.add_model(model, optimizer, loader, boundaries, model_id=trial_id)
+        hyperparameters[trial_id] = {"model": model.model_name, "num_shards": shard_count}
+
+    reports = trainer.fit(num_epochs)
+    tracker = ExperimentTracker(objective=objective, mode=mode)
+    for trial_id, report in reports.items():
+        tracker.record(
+            trial_id,
+            hyperparameters[trial_id],
+            report.epochs[-1],
+            epochs_trained=num_epochs,
+        )
+    return tracker.as_result("hydra_shard_parallel")

@@ -1,0 +1,19 @@
+"""Model zoo: the paper's workloads expressed as shardable models."""
+
+from repro.models.base import ShardableModel
+from repro.models.feedforward import FeedForwardConfig, FeedForwardNetwork
+from repro.models.bert import BertConfig, BertForSpanPrediction, BertEmbeddings, BertSpanHead
+from repro.models.registry import register_model, create_model, available_models
+
+__all__ = [
+    "ShardableModel",
+    "FeedForwardConfig",
+    "FeedForwardNetwork",
+    "BertConfig",
+    "BertForSpanPrediction",
+    "BertEmbeddings",
+    "BertSpanHead",
+    "register_model",
+    "create_model",
+    "available_models",
+]

@@ -1,0 +1,81 @@
+"""The :class:`ShardableModel` interface.
+
+A shardable model is an ordered sequence of *blocks*.  Hydra's sharding layer
+groups consecutive blocks into shards; the real training engines execute
+blocks one at a time (possibly interleaved with blocks of other models),
+and the simulator schedules per-block cost estimates.  The only contract is
+that running blocks 0..N-1 in order, threading the returned state through,
+is exactly equivalent to calling ``forward``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataloader import Batch
+from repro.nn.module import Module
+from repro.profiling.cost_model import ModelProfile
+
+
+class ShardableModel(Module):
+    """Base class for models that can be split into sequential blocks."""
+
+    #: name used in profiles, schedules and experiment reports
+    model_name: str = "model"
+
+    # ------------------------------------------------------------------ #
+    # Block interface
+    # ------------------------------------------------------------------ #
+    def block_modules(self) -> List[Module]:  # pragma: no cover - interface
+        """Return the ordered list of block modules."""
+        raise NotImplementedError
+
+    def num_blocks(self) -> int:
+        return len(self.block_modules())
+
+    def run_block(self, index: int, state: Any, batch: Batch) -> Any:  # pragma: no cover
+        """Run block ``index``.
+
+        ``state`` is ``None`` for the first block (which reads its inputs
+        from ``batch``) and otherwise whatever the previous block returned.
+        """
+        raise NotImplementedError
+
+    def compute_loss(self, outputs: Any, batch: Batch) -> Tensor:  # pragma: no cover
+        """Compute the scalar training loss from the final block's outputs."""
+        raise NotImplementedError
+
+    def predict(self, outputs: Any) -> np.ndarray:  # pragma: no cover
+        """Convert final outputs into hard predictions (for accuracy metrics)."""
+        raise NotImplementedError
+
+    def profile(self, batch_size: int = 1) -> ModelProfile:  # pragma: no cover
+        """Analytical per-block cost profile (see :mod:`repro.profiling`)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Default whole-model execution in terms of blocks
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: Batch) -> Any:
+        state: Any = None
+        for index in range(self.num_blocks()):
+            state = self.run_block(index, state, batch)
+        return state
+
+    def loss_on_batch(self, batch: Batch) -> Tensor:
+        """Convenience: forward plus loss."""
+        return self.compute_loss(self.forward(batch), batch)
+
+    def block_parameters(self, index: int) -> List:
+        """Parameters owned by block ``index`` (used for per-shard optimizers)."""
+        return list(self.block_modules()[index].parameters())
+
+    def accuracy_on_batch(self, batch: Batch, label_field: str = "label") -> float:
+        """Fraction of correct hard predictions on one batch."""
+        outputs = self.forward(batch)
+        predictions = self.predict(outputs)
+        labels = np.asarray(batch[label_field])
+        return float((predictions == labels).mean())

@@ -1,0 +1,240 @@
+"""BERT-style encoder for span prediction (the SQuAD fine-tuning workload).
+
+Two usage modes:
+
+* **Cost-model only** — :class:`BertConfig` (including the ``bert_large``
+  preset) produces a :class:`~repro.profiling.cost_model.ModelProfile`
+  without allocating any weights.  All BERT-Large-scale throughput, memory,
+  and utilization experiments run in this mode on the cluster simulator.
+* **Real training** — :class:`BertForSpanPrediction` instantiates the actual
+  architecture (typically at a ``tiny`` scale) on the numpy engine and is
+  used by the examples and the gradient-parity tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataloader import Batch
+from repro.models.base import ShardableModel
+from repro.nn.container import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+from repro.nn.transformer import TransformerEncoderLayer
+from repro.profiling.cost_model import (
+    BlockCost,
+    ModelProfile,
+    embedding_cost,
+    layer_norm_cost,
+    linear_cost,
+    transformer_layer_cost,
+)
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Architecture hyper-parameters of a BERT-style encoder."""
+
+    vocab_size: int = 30522
+    hidden_size: int = 768
+    num_layers: int = 12
+    num_heads: int = 12
+    intermediate_size: int = 3072
+    max_seq_len: int = 512
+    type_vocab_size: int = 2
+    dropout: float = 0.1
+    name: str = "bert"
+
+    @classmethod
+    def bert_base(cls) -> "BertConfig":
+        """BERT-Base: 12 layers, hidden 768 (~110 M parameters)."""
+        return cls(name="bert-base")
+
+    @classmethod
+    def bert_large(cls) -> "BertConfig":
+        """BERT-Large: 24 layers, hidden 1024 (~340 M parameters) — the paper's heavy workload."""
+        return cls(
+            hidden_size=1024,
+            num_layers=24,
+            num_heads=16,
+            intermediate_size=4096,
+            name="bert-large",
+        )
+
+    @classmethod
+    def tiny(cls, vocab_size: int = 128, seq_len: int = 64) -> "BertConfig":
+        """A few-hundred-thousand-parameter instance for real training in tests/examples."""
+        return cls(
+            vocab_size=vocab_size,
+            hidden_size=32,
+            num_layers=2,
+            num_heads=2,
+            intermediate_size=64,
+            max_seq_len=seq_len,
+            dropout=0.0,
+            name="bert-tiny",
+        )
+
+    def param_count(self) -> int:
+        """Approximate trainable-parameter count (matches the cost model)."""
+        return sum(block.param_count for block in self.block_costs())
+
+    def block_costs(self, seq_len: int | None = None) -> List[BlockCost]:
+        """Per-block costs: embeddings, each encoder layer, span head."""
+        seq = seq_len if seq_len is not None else self.max_seq_len
+        lookup = embedding_cost(
+            f"{self.name}.embeddings",
+            self.vocab_size,
+            self.hidden_size,
+            seq,
+            extra_tables=(self.max_seq_len, self.type_vocab_size),
+        )
+        norm = layer_norm_cost(f"{self.name}.embeddings.norm", self.hidden_size, seq)
+        embeddings_block = BlockCost(
+            name=lookup.name,
+            param_count=lookup.param_count + norm.param_count,
+            param_bytes=lookup.param_bytes + norm.param_bytes,
+            activation_bytes_per_sample=(
+                lookup.activation_bytes_per_sample + norm.activation_bytes_per_sample
+            ),
+            output_bytes_per_sample=lookup.output_bytes_per_sample,
+            forward_flops_per_sample=(
+                lookup.forward_flops_per_sample + norm.forward_flops_per_sample
+            ),
+        )
+        costs = [embeddings_block]
+        for layer_index in range(self.num_layers):
+            costs.append(
+                transformer_layer_cost(
+                    f"{self.name}.encoder_layer_{layer_index}",
+                    self.hidden_size,
+                    self.intermediate_size,
+                    seq,
+                )
+            )
+        costs.append(
+            linear_cost(f"{self.name}.span_head", self.hidden_size, 2, tokens_per_sample=seq)
+        )
+        return costs
+
+    def profile(self, seq_len: int | None = None) -> ModelProfile:
+        return ModelProfile(model_name=self.name, blocks=self.block_costs(seq_len))
+
+
+class BertEmbeddings(Module):
+    """Token + position + segment embeddings with LayerNorm and dropout."""
+
+    def __init__(self, config: BertConfig, rng):
+        super().__init__()
+        self.config = config
+        self.token_embeddings = Embedding(config.vocab_size, config.hidden_size, rng=rng)
+        self.position_embeddings = Embedding(config.max_seq_len, config.hidden_size, rng=rng)
+        self.segment_embeddings = Embedding(config.type_vocab_size, config.hidden_size, rng=rng)
+        self.norm = LayerNorm(config.hidden_size)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, input_ids: np.ndarray, segment_ids: np.ndarray | None = None) -> Tensor:
+        input_ids = np.asarray(input_ids)
+        batch, seq_len = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        if segment_ids is None:
+            segment_ids = np.zeros_like(input_ids)
+        embedded = (
+            self.token_embeddings(input_ids)
+            + self.position_embeddings(positions)
+            + self.segment_embeddings(segment_ids)
+        )
+        return self.dropout(self.norm(embedded))
+
+
+class BertSpanHead(Module):
+    """Projects each token's hidden state to (start, end) span logits."""
+
+    def __init__(self, hidden_size: int, rng):
+        super().__init__()
+        self.projection = Linear(hidden_size, 2, rng=rng)
+
+    def forward(self, hidden: Tensor) -> Tuple[Tensor, Tensor]:
+        logits = self.projection(hidden)  # (batch, seq, 2)
+        start_logits = logits[:, :, 0]
+        end_logits = logits[:, :, 1]
+        return start_logits, end_logits
+
+
+class BertForSpanPrediction(ShardableModel):
+    """BERT encoder with a SQuAD-style span-prediction head.
+
+    Blocks: ``[embeddings, encoder_layer_0, ..., encoder_layer_{L-1}, span_head]``.
+    The inter-block state is the hidden-state tensor of shape
+    ``(batch, seq_len, hidden)``; the attention mask is re-read from the batch
+    by every encoder block, so shards need no side-channel communication.
+    """
+
+    def __init__(self, config: BertConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        self.model_name = config.name
+        self.seed = int(seed)
+        rng = RandomState(self.seed, name=config.name).generator
+        self.embeddings = BertEmbeddings(config, rng)
+        self.encoder_layers = ModuleList(
+            TransformerEncoderLayer(
+                config.hidden_size,
+                config.num_heads,
+                config.intermediate_size,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            for _ in range(config.num_layers)
+        )
+        self.span_head = BertSpanHead(config.hidden_size, rng)
+        self.loss_fn = CrossEntropyLoss()
+
+    # ------------------------------------------------------------------ #
+    # ShardableModel interface
+    # ------------------------------------------------------------------ #
+    def block_modules(self) -> List[Module]:
+        return [self.embeddings, *self.encoder_layers, self.span_head]
+
+    def run_block(self, index: int, state: Any, batch: Batch) -> Any:
+        attention_mask = np.asarray(batch["attention_mask"]) if "attention_mask" in batch else None
+        if index == 0:
+            return self.embeddings(np.asarray(batch["input_ids"]))
+        if index <= self.config.num_layers:
+            layer = self.encoder_layers[index - 1]
+            return layer(state, attention_mask=attention_mask)
+        return self.span_head(state)
+
+    def compute_loss(self, outputs: Tuple[Tensor, Tensor], batch: Batch) -> Tensor:
+        start_logits, end_logits = outputs
+        start_loss = self.loss_fn(start_logits, np.asarray(batch["start_position"]))
+        end_loss = self.loss_fn(end_logits, np.asarray(batch["end_position"]))
+        return (start_loss + end_loss) * 0.5
+
+    def predict(self, outputs: Tuple[Tensor, Tensor]) -> np.ndarray:
+        """Predicted (start, end) positions, shape (batch, 2)."""
+        start_logits, end_logits = outputs
+        starts = start_logits.data.argmax(axis=-1)
+        ends = end_logits.data.argmax(axis=-1)
+        return np.stack([starts, ends], axis=1)
+
+    def span_accuracy(self, outputs: Tuple[Tensor, Tensor], batch: Batch) -> float:
+        """Exact-match accuracy of the predicted span."""
+        predicted = self.predict(outputs)
+        gold = np.stack(
+            [np.asarray(batch["start_position"]), np.asarray(batch["end_position"])], axis=1
+        )
+        return float((predicted == gold).all(axis=1).mean())
+
+    def profile(self, batch_size: int = 1, seq_len: int | None = None) -> ModelProfile:
+        return self.config.profile(seq_len)

@@ -1,0 +1,149 @@
+"""Configurable feedforward (MLP) classifier.
+
+The paper's first workload is a 1.2 million-parameter feedforward network
+used to verify that sharding does not harm accuracy;
+:meth:`FeedForwardConfig.paper_1_2m` reproduces that parameter budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataloader import Batch
+from repro.models.base import ShardableModel
+from repro.nn.activations import get_activation
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.profiling.cost_model import BlockCost, ModelProfile, linear_cost
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class FeedForwardConfig:
+    """Architecture hyper-parameters of the MLP workload."""
+
+    input_dim: int = 512
+    hidden_dims: Tuple[int, ...] = (1024, 512, 256)
+    num_classes: int = 10
+    activation: str = "relu"
+    dropout: float = 0.0
+    name: str = "feedforward"
+
+    @classmethod
+    def paper_1_2m(cls) -> "FeedForwardConfig":
+        """The ~1.2 M-parameter configuration used in the paper's evaluation."""
+        return cls(
+            input_dim=512,
+            hidden_dims=(1024, 512, 256),
+            num_classes=10,
+            activation="relu",
+            dropout=0.0,
+            name="mlp-1.2M",
+        )
+
+    @classmethod
+    def tiny(cls, input_dim: int = 16, num_classes: int = 4) -> "FeedForwardConfig":
+        """A tiny configuration for fast tests."""
+        return cls(
+            input_dim=input_dim,
+            hidden_dims=(32, 16),
+            num_classes=num_classes,
+            name="mlp-tiny",
+        )
+
+    @property
+    def layer_dims(self) -> List[Tuple[int, int]]:
+        """(in, out) pairs for every linear layer including the output head."""
+        dims = [self.input_dim, *self.hidden_dims, self.num_classes]
+        return list(zip(dims[:-1], dims[1:]))
+
+    def param_count(self) -> int:
+        """Exact number of trainable scalars for this configuration."""
+        return sum(i * o + o for i, o in self.layer_dims)
+
+    def block_costs(self, batch_size: int = 1) -> List[BlockCost]:
+        """Per-block analytical costs (one block per linear layer)."""
+        costs = []
+        for index, (in_dim, out_dim) in enumerate(self.layer_dims):
+            costs.append(linear_cost(f"{self.name}.block{index}", in_dim, out_dim))
+        return costs
+
+    def profile(self, batch_size: int = 1) -> ModelProfile:
+        return ModelProfile(model_name=self.name, blocks=self.block_costs(batch_size))
+
+
+class _DenseBlock(Module):
+    """Linear layer plus optional activation and dropout (one shardable block)."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: Optional[str],
+                 dropout: float, rng):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+        self.activation = get_activation(activation) if activation else None
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.linear(x)
+        if self.activation is not None:
+            x = self.activation(x)
+        if self.dropout is not None:
+            x = self.dropout(x)
+        return x
+
+
+class FeedForwardNetwork(ShardableModel):
+    """An MLP classifier whose blocks are its dense layers.
+
+    Parameters are initialised from ``seed`` so two constructions with the
+    same seed (e.g. the sharded and unsharded copies in the parity tests)
+    have identical weights.
+    """
+
+    def __init__(self, config: FeedForwardConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        self.model_name = config.name
+        self.seed = int(seed)
+        rng = RandomState(self.seed, name=config.name).generator
+        blocks: List[Module] = []
+        layer_dims = config.layer_dims
+        for index, (in_dim, out_dim) in enumerate(layer_dims):
+            is_last = index == len(layer_dims) - 1
+            blocks.append(
+                _DenseBlock(
+                    in_dim,
+                    out_dim,
+                    activation=None if is_last else config.activation,
+                    dropout=0.0 if is_last else config.dropout,
+                    rng=rng,
+                )
+            )
+        self.blocks = ModuleList(blocks)
+        self.loss_fn = CrossEntropyLoss()
+
+    # ------------------------------------------------------------------ #
+    # ShardableModel interface
+    # ------------------------------------------------------------------ #
+    def block_modules(self) -> List[Module]:
+        return list(self.blocks)
+
+    def run_block(self, index: int, state: Any, batch: Batch) -> Tensor:
+        if index == 0:
+            state = Tensor(np.asarray(batch["features"], dtype=np.float32))
+        return self.blocks[index](state)
+
+    def compute_loss(self, outputs: Tensor, batch: Batch) -> Tensor:
+        return self.loss_fn(outputs, np.asarray(batch["label"]))
+
+    def predict(self, outputs: Tensor) -> np.ndarray:
+        return outputs.data.argmax(axis=-1)
+
+    def profile(self, batch_size: int = 1) -> ModelProfile:
+        return self.config.profile(batch_size)

@@ -1,0 +1,70 @@
+"""A small model registry so search spaces can refer to models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import ShardableModel
+
+_REGISTRY: Dict[str, Callable[..., ShardableModel]] = {}
+
+
+def register_model(name: str, factory: Callable[..., ShardableModel] | None = None):
+    """Register ``factory`` under ``name``; usable as a decorator."""
+
+    def decorator(func: Callable[..., ShardableModel]):
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ConfigurationError(f"model {name!r} is already registered")
+        _REGISTRY[key] = func
+        return func
+
+    if factory is not None:
+        return decorator(factory)
+    return decorator
+
+
+def create_model(name: str, **kwargs) -> ShardableModel:
+    """Instantiate a registered model by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown model {name!r}; registered models: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtin_models() -> None:
+    """Register the paper's workload models under friendly names."""
+    from repro.models.bert import BertConfig, BertForSpanPrediction
+    from repro.models.feedforward import FeedForwardConfig, FeedForwardNetwork
+
+    if "mlp-1.2m" not in _REGISTRY:
+        register_model(
+            "mlp-1.2m",
+            lambda seed=0, **overrides: FeedForwardNetwork(
+                FeedForwardConfig.paper_1_2m(), seed=seed
+            ),
+        )
+    if "mlp-tiny" not in _REGISTRY:
+        register_model(
+            "mlp-tiny",
+            lambda seed=0, input_dim=16, num_classes=4, **overrides: FeedForwardNetwork(
+                FeedForwardConfig.tiny(input_dim=input_dim, num_classes=num_classes), seed=seed
+            ),
+        )
+    if "bert-tiny" not in _REGISTRY:
+        register_model(
+            "bert-tiny",
+            lambda seed=0, vocab_size=128, seq_len=64, **overrides: BertForSpanPrediction(
+                BertConfig.tiny(vocab_size=vocab_size, seq_len=seq_len), seed=seed
+            ),
+        )
+
+
+_register_builtin_models()

@@ -1,0 +1,40 @@
+"""Neural-network module library built on :mod:`repro.autograd`.
+
+The API deliberately mirrors ``torch.nn`` where reasonable (Module,
+Parameter, Linear, LayerNorm, ...) so the reproduction code reads like the
+PyTorch code the paper used.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.activations import ReLU, GELU, Tanh, Sigmoid
+from repro.nn.normalization import LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import TransformerEncoderLayer, TransformerEncoder
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+]

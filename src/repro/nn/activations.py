@@ -1,0 +1,65 @@
+"""Activation-function layers."""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation, as used in BERT)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+    def __repr__(self) -> str:
+        return "GELU()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "gelu": GELU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation layer from its lowercase name."""
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; expected one of {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,79 @@
+"""Multi-head self-attention, as used in the BERT encoder blocks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` parallel heads.
+
+    Input and output shape: ``(batch, seq_len, hidden_size)``.  An optional
+    boolean ``attention_mask`` of shape ``(batch, seq_len)`` marks valid
+    (True) versus padding (False) positions.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ValueError(
+                f"hidden_size {hidden_size} is not divisible by num_heads {num_heads}"
+            )
+        self.hidden_size = int(hidden_size)
+        self.num_heads = int(num_heads)
+        self.head_dim = self.hidden_size // self.num_heads
+        self.query = Linear(hidden_size, hidden_size, rng=rng)
+        self.key = Linear(hidden_size, hidden_size, rng=rng)
+        self.value = Linear(hidden_size, hidden_size, rng=rng)
+        self.output = Linear(hidden_size, hidden_size, rng=rng)
+        self.attention_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:
+        """(B, S, H) -> (B, heads, S, head_dim)."""
+        return x.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq_len, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq_len)
+        k = self._split_heads(self.key(x), batch, seq_len)
+        v = self._split_heads(self.value(x), batch, seq_len)
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            if mask.shape != (batch, seq_len):
+                raise ValueError(
+                    f"attention_mask shape {mask.shape} does not match (batch, seq_len)="
+                    f"{(batch, seq_len)}"
+                )
+            # Broadcast to (B, 1, 1, S): every query may attend only to valid keys.
+            broadcast_mask = mask[:, None, None, :]
+            scores = ops.where(
+                np.broadcast_to(broadcast_mask, scores.shape), scores, scores * 0.0 - 1e9
+            )
+        weights = ops.softmax(scores, axis=-1)
+        weights = self.attention_dropout(weights)
+        context = weights.matmul(v)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_size)
+        return self.output(context)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiHeadSelfAttention(hidden_size={self.hidden_size}, "
+            f"num_heads={self.num_heads})"
+        )

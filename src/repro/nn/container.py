@@ -1,0 +1,72 @@
+"""Container modules: :class:`Sequential` and :class:`ModuleList`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chains child modules, feeding each one's output to the next.
+
+    Models built as a ``Sequential`` of blocks are directly consumable by the
+    sharding layer: a shard is simply a contiguous slice of the chain.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layer_list: List[Module] = []
+        for layer in layers:
+            self.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        index = len(self._layer_list)
+        self._layer_list.append(layer)
+        self.register_module(str(index), layer)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layer_list)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*self._layer_list[index])
+        return self._layer_list[index]
+
+
+class ModuleList(Module):
+    """Holds an ordered list of sub-modules without defining ``forward``."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._module_list: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._module_list)
+        self._module_list.append(module)
+        self.register_module(str(index), module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._module_list)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._module_list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._module_list[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers have no forward
+        raise NotImplementedError("ModuleList does not define forward; iterate over it instead")

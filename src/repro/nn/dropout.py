@@ -1,0 +1,41 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import get_rng
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    During training each element is zeroed with probability ``p`` and the
+    survivors are rescaled by ``1 / (1 - p)``.  Evaluation mode is the
+    identity.  The mask is drawn from ``rng`` (or the global generator),
+    which keeps sharded and unsharded executions bit-identical when they are
+    driven by the same seed sequence.
+    """
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        generator = self._rng if self._rng is not None else get_rng()
+        keep_prob = 1.0 - self.p
+        mask = (generator.uniform(size=x.shape) < keep_prob).astype(x.data.dtype)
+        return ops.dropout(x, mask=mask, keep_prob=keep_prob)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,46 @@
+"""Embedding lookup layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import get_rng
+
+
+class Embedding(Module):
+    """Maps integer ids to dense vectors via a learned lookup table."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        std: float = 0.02,
+    ):
+        super().__init__()
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        generator = rng if rng is not None else get_rng()
+        self.weight = Parameter(
+            init.normal((self.num_embeddings, self.embedding_dim), generator, std=std),
+            name="weight",
+        )
+
+    def forward(self, indices: Tensor | np.ndarray) -> Tensor:
+        ids = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        if ids.min() < 0 or ids.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids must be in [0, {self.num_embeddings}); "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        return ops.embedding(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

@@ -1,0 +1,60 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit numpy ``Generator`` so that model
+construction is deterministic given a seed — a prerequisite for the paper's
+"exact replication of training output" experiments, where the same model must
+be constructed twice (sharded and unsharded) with identical weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation, suited to ReLU networks."""
+    fan_in, _ = _fans(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def normal(shape: Sequence[int], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal initialisation (BERT uses std=0.02)."""
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zero initialisation (biases, LayerNorm offsets)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    """All-one initialisation (LayerNorm scales)."""
+    return np.ones(shape, dtype=np.float32)
+
+
+def _fans(shape: Sequence[int]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = int(shape[0])
+    return fan_in, fan_out

@@ -1,0 +1,59 @@
+"""Fully-connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import get_rng
+
+
+class Linear(Module):
+    """Applies ``y = x @ W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to add a learned offset.
+    rng:
+        Generator used for weight initialisation; defaults to the global RNG.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        generator = rng if rng is not None else get_rng()
+        self.weight = Parameter(
+            init.kaiming_uniform((self.out_features, self.in_features), generator),
+            name="weight",
+        )
+        if bias:
+            self.bias = Parameter(init.zeros((self.out_features,)), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

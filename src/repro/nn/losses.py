@@ -1,0 +1,42 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets.
+
+    Accepts logits of shape ``(N, C)`` (or ``(batch, seq, C)``, which is
+    flattened) and integer targets of the matching leading shape.
+    """
+
+    def __init__(self, ignore_index: int = -100):
+        super().__init__()
+        self.ignore_index = int(ignore_index)
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        target_array = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        if logits.ndim > 2:
+            num_classes = logits.shape[-1]
+            logits = logits.reshape(-1, num_classes)
+            target_array = target_array.reshape(-1)
+        return ops.cross_entropy(logits, target_array, ignore_index=self.ignore_index)
+
+    def __repr__(self) -> str:
+        return f"CrossEntropyLoss(ignore_index={self.ignore_index})"
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        return ops.mse_loss(predictions, targets)
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

@@ -1,0 +1,34 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension.
+
+    Normalises each feature vector to zero mean / unit variance and applies a
+    learned affine transform, exactly as in the transformer encoder blocks of
+    the paper's BERT workload.
+    """
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = int(normalized_shape)
+        self.eps = float(eps)
+        self.weight = Parameter(init.ones((self.normalized_shape,)), name="weight")
+        self.bias = Parameter(init.zeros((self.normalized_shape,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

@@ -1,0 +1,78 @@
+"""Transformer encoder blocks (the building block of the BERT workload)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import GELU
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.container import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+
+
+class TransformerEncoderLayer(Module):
+    """One post-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        intermediate_size: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.hidden_size = int(hidden_size)
+        self.intermediate_size = int(intermediate_size)
+        self.attention = MultiHeadSelfAttention(hidden_size, num_heads, dropout=dropout, rng=rng)
+        self.attention_norm = LayerNorm(hidden_size)
+        self.intermediate = Linear(hidden_size, intermediate_size, rng=rng)
+        self.intermediate_act = GELU()
+        self.output = Linear(intermediate_size, hidden_size, rng=rng)
+        self.output_norm = LayerNorm(hidden_size)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask)
+        x = self.attention_norm(x + self.dropout(attended))
+        expanded = self.intermediate_act(self.intermediate(x))
+        projected = self.output(expanded)
+        return self.output_norm(x + self.dropout(projected))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformerEncoderLayer(hidden_size={self.hidden_size}, "
+            f"intermediate_size={self.intermediate_size})"
+        )
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` blocks."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        hidden_size: int,
+        num_heads: int,
+        intermediate_size: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(
+                hidden_size, num_heads, intermediate_size, dropout=dropout, rng=rng
+            )
+            for _ in range(num_layers)
+        )
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_mask=attention_mask)
+        return x

@@ -1,0 +1,63 @@
+"""Adam and AdamW optimizers (AdamW is what BERT fine-tuning uses)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    state_bytes_per_parameter = 8  # two float32 moments per scalar
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay and self._couples_weight_decay():
+            grad = grad + self.weight_decay * param.data
+        state = self._param_state(param)
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+        state["m"], state["v"] = m, v
+        m_hat = m / (1.0 - self.beta1 ** self.step_count)
+        v_hat = v / (1.0 - self.beta2 ** self.step_count)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay and not self._couples_weight_decay():
+            update = update + self.weight_decay * param.data
+        param.data = param.data - self.lr * update
+
+    def _couples_weight_decay(self) -> bool:
+        """Adam couples L2 into the gradient; AdamW decays weights directly."""
+        return True
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _couples_weight_decay(self) -> bool:
+        return False

@@ -1,0 +1,68 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base class: adjusts an optimizer's learning rate once per step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> float:
+        """Advance the schedule and return the new learning rate."""
+        self.step_count += 1
+        lr = self.compute_lr(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, step: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (useful as an explicit default)."""
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupDecay(LRScheduler):
+    """Linear warmup to ``base_lr`` followed by linear decay to zero.
+
+    This is the schedule used for BERT fine-tuning in the paper's workload.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps]")
+        self.warmup_steps = int(warmup_steps)
+        self.total_steps = int(total_steps)
+
+    def compute_lr(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denominator = max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining / denominator
+
+
+class StepDecay(LRScheduler):
+    """Multiplies the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** (step // self.step_size))

@@ -1,0 +1,56 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class: holds parameters and per-parameter state.
+
+    ``state_bytes_per_parameter`` reports how many extra bytes of optimizer
+    state each trained scalar requires (0 for plain SGD, 8 for Adam with two
+    float32 moments); the cluster memory model uses this to charge optimizer
+    state to the device that owns a shard.
+    """
+
+    state_bytes_per_parameter: int = 0
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+        self.step_count += 1
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            self._update(param, param.grad.astype(param.data.dtype))
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _param_state(self, param: Parameter) -> Dict[str, np.ndarray]:
+        return self.state.setdefault(id(param), {})
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable snapshot of hyper-parameters and step count."""
+        return {"lr": self.lr, "step_count": self.step_count}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.lr}, params={len(self.parameters)})"

@@ -1,0 +1,41 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Classic SGD: ``p -= lr * (grad + weight_decay * p)`` with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.state_bytes_per_parameter = 4 if momentum > 0 else 0
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum > 0:
+            state = self._param_state(param)
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            state["velocity"] = velocity
+            grad = velocity
+        param.data = param.data - self.lr * grad

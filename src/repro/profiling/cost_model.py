@@ -1,0 +1,242 @@
+"""Analytical per-block cost model.
+
+Every model block is summarised by a :class:`BlockCost`: parameter count,
+parameter bytes, activation bytes per sample, output (inter-shard transfer)
+bytes per sample, and forward FLOPs per sample.  A :class:`ModelProfile` is
+the ordered list of block costs for one model configuration; the partitioner
+and the cluster simulator consume profiles, never the real weights, which is
+what lets the reproduction reason about BERT-Large-scale models without
+allocating 340 M parameters.
+
+The formulas follow the standard transformer accounting (e.g. the BERT paper
+and common FLOP estimates): a dense layer of shape ``(in, out)`` costs
+``2 * in * out`` FLOPs per token and stores ``out`` activations per token.
+Backward passes are charged at twice the forward FLOPs, matching the usual
+2:1 backward/forward ratio used by systems papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+FLOAT32_BYTES = 4
+#: backward FLOPs are roughly 2x forward FLOPs for dense workloads
+BACKWARD_FLOP_MULTIPLIER = 2.0
+
+
+def bytes_for_params(num_params: int, bytes_per_param: int = FLOAT32_BYTES) -> int:
+    """Bytes needed to store ``num_params`` float32 weights."""
+    return int(num_params) * bytes_per_param
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Resource footprint of one model block for one sample (batch size 1).
+
+    Attributes
+    ----------
+    name:
+        Human-readable block name (``"encoder_layer_17"``).
+    param_count:
+        Number of scalar parameters owned by the block.
+    param_bytes:
+        Bytes of parameter storage (float32).
+    activation_bytes_per_sample:
+        Bytes of intermediate activations that must stay resident on the
+        device while the block's forward result is needed for backward.
+    output_bytes_per_sample:
+        Bytes of the block's output tensor — this is what crosses the
+        inter-shard link when the next block lives on a different device.
+    forward_flops_per_sample:
+        Forward-pass floating point operations for one sample.
+    """
+
+    name: str
+    param_count: int
+    param_bytes: int
+    activation_bytes_per_sample: int
+    output_bytes_per_sample: int
+    forward_flops_per_sample: float
+
+    @property
+    def backward_flops_per_sample(self) -> float:
+        return self.forward_flops_per_sample * BACKWARD_FLOP_MULTIPLIER
+
+    def scaled(self, batch_size: int) -> "BlockCost":
+        """Return a copy whose per-sample quantities describe a whole batch."""
+        return BlockCost(
+            name=self.name,
+            param_count=self.param_count,
+            param_bytes=self.param_bytes,
+            activation_bytes_per_sample=self.activation_bytes_per_sample * batch_size,
+            output_bytes_per_sample=self.output_bytes_per_sample * batch_size,
+            forward_flops_per_sample=self.forward_flops_per_sample * batch_size,
+        )
+
+
+@dataclass
+class ModelProfile:
+    """Ordered block costs for one model configuration."""
+
+    model_name: str
+    blocks: List[BlockCost] = field(default_factory=list)
+    optimizer_bytes_per_param: int = 8  # Adam: two float32 moments
+
+    def __iter__(self) -> Iterator[BlockCost]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __getitem__(self, index: int) -> BlockCost:
+        return self.blocks[index]
+
+    @property
+    def total_params(self) -> int:
+        return sum(block.param_count for block in self.blocks)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(block.param_bytes for block in self.blocks)
+
+    def total_memory_bytes(self, batch_size: int = 1) -> int:
+        """Params + optimizer state + activations for the whole model."""
+        params = self.total_param_bytes
+        optimizer = self.total_params * self.optimizer_bytes_per_param
+        activations = sum(
+            block.activation_bytes_per_sample for block in self.blocks
+        ) * batch_size
+        return params + optimizer + activations
+
+    def block_memory_bytes(self, index: int, batch_size: int = 1) -> int:
+        """Resident memory for a single block (params + optimizer + activations)."""
+        block = self.blocks[index]
+        return (
+            block.param_bytes
+            + block.param_count * self.optimizer_bytes_per_param
+            + block.activation_bytes_per_sample * batch_size
+        )
+
+    def range_memory_bytes(self, start: int, stop: int, batch_size: int = 1) -> int:
+        """Resident memory for blocks ``start..stop-1`` (a candidate shard)."""
+        return sum(self.block_memory_bytes(i, batch_size) for i in range(start, stop))
+
+    def range_forward_flops(self, start: int, stop: int, batch_size: int = 1) -> float:
+        return sum(
+            self.blocks[i].forward_flops_per_sample for i in range(start, stop)
+        ) * batch_size
+
+    def total_forward_flops(self, batch_size: int = 1) -> float:
+        return self.range_forward_flops(0, len(self.blocks), batch_size)
+
+
+# --------------------------------------------------------------------------- #
+# Primitive cost formulas
+# --------------------------------------------------------------------------- #
+def linear_cost(
+    name: str,
+    in_features: int,
+    out_features: int,
+    tokens_per_sample: int = 1,
+    bias: bool = True,
+) -> BlockCost:
+    """Cost of a dense layer applied to ``tokens_per_sample`` positions."""
+    params = in_features * out_features + (out_features if bias else 0)
+    activations = out_features * tokens_per_sample * FLOAT32_BYTES
+    flops = 2.0 * in_features * out_features * tokens_per_sample
+    return BlockCost(
+        name=name,
+        param_count=params,
+        param_bytes=bytes_for_params(params),
+        activation_bytes_per_sample=activations,
+        output_bytes_per_sample=activations,
+        forward_flops_per_sample=flops,
+    )
+
+
+def embedding_cost(
+    name: str,
+    vocab_size: int,
+    hidden_size: int,
+    seq_len: int,
+    extra_tables: Sequence[int] = (),
+) -> BlockCost:
+    """Cost of embedding lookup tables (token table plus optional extras).
+
+    ``extra_tables`` lists the row counts of additional tables that share the
+    hidden size (position embeddings, segment embeddings).
+    """
+    rows = vocab_size + sum(extra_tables)
+    params = rows * hidden_size
+    activations = hidden_size * seq_len * FLOAT32_BYTES
+    # Lookups are memory-bound; charge one multiply-add per output element.
+    flops = 2.0 * hidden_size * seq_len
+    return BlockCost(
+        name=name,
+        param_count=params,
+        param_bytes=bytes_for_params(params),
+        activation_bytes_per_sample=activations,
+        output_bytes_per_sample=activations,
+        forward_flops_per_sample=flops,
+    )
+
+
+def layer_norm_cost(name: str, hidden_size: int, tokens_per_sample: int = 1) -> BlockCost:
+    params = 2 * hidden_size
+    activations = hidden_size * tokens_per_sample * FLOAT32_BYTES
+    flops = 8.0 * hidden_size * tokens_per_sample
+    return BlockCost(
+        name=name,
+        param_count=params,
+        param_bytes=bytes_for_params(params),
+        activation_bytes_per_sample=activations,
+        output_bytes_per_sample=activations,
+        forward_flops_per_sample=flops,
+    )
+
+
+def attention_cost(name: str, hidden_size: int, seq_len: int) -> BlockCost:
+    """Multi-head self-attention: 4 dense projections + score/context matmuls."""
+    params = 4 * (hidden_size * hidden_size + hidden_size)
+    projection_flops = 4 * 2.0 * hidden_size * hidden_size * seq_len
+    score_flops = 2.0 * 2.0 * seq_len * seq_len * hidden_size  # QK^T and attn@V
+    flops = projection_flops + score_flops
+    # Activations: Q, K, V, attention probabilities, context, output.
+    activations = (
+        4 * hidden_size * seq_len + seq_len * seq_len + hidden_size * seq_len
+    ) * FLOAT32_BYTES
+    output = hidden_size * seq_len * FLOAT32_BYTES
+    return BlockCost(
+        name=name,
+        param_count=params,
+        param_bytes=bytes_for_params(params),
+        activation_bytes_per_sample=activations,
+        output_bytes_per_sample=output,
+        forward_flops_per_sample=flops,
+    )
+
+
+def transformer_layer_cost(
+    name: str,
+    hidden_size: int,
+    intermediate_size: int,
+    seq_len: int,
+) -> BlockCost:
+    """One full encoder block: attention + 2 layer norms + feed-forward."""
+    attention = attention_cost(f"{name}.attention", hidden_size, seq_len)
+    ffn_in = linear_cost(f"{name}.ffn_in", hidden_size, intermediate_size, seq_len)
+    ffn_out = linear_cost(f"{name}.ffn_out", intermediate_size, hidden_size, seq_len)
+    norms = [
+        layer_norm_cost(f"{name}.norm1", hidden_size, seq_len),
+        layer_norm_cost(f"{name}.norm2", hidden_size, seq_len),
+    ]
+    parts = [attention, ffn_in, ffn_out, *norms]
+    return BlockCost(
+        name=name,
+        param_count=sum(p.param_count for p in parts),
+        param_bytes=sum(p.param_bytes for p in parts),
+        activation_bytes_per_sample=sum(p.activation_bytes_per_sample for p in parts),
+        output_bytes_per_sample=hidden_size * seq_len * FLOAT32_BYTES,
+        forward_flops_per_sample=sum(p.forward_flops_per_sample for p in parts),
+    )

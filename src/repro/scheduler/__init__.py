@@ -1,0 +1,65 @@
+"""Scheduling strategies: how multi-model training work is mapped onto devices.
+
+The strategies reproduce the three execution regimes the paper compares
+(Figure 2) plus the Cerebro-style hybrid it plans (§4.1):
+
+* :class:`~repro.scheduler.single_device.SingleDeviceStrategy` — everything
+  on one GPU, sequentially (the reference point).
+* :class:`~repro.scheduler.task_parallel.TaskParallelStrategy` — one whole
+  model per GPU (Ray-Tune-style model selection).
+* :class:`~repro.scheduler.model_parallel.ModelParallelStrategy` — classic
+  model parallelism: one model at a time, sharded across all GPUs.
+* :class:`~repro.scheduler.shard_parallel.ShardParallelStrategy` — **Hydra**:
+  every model sharded, shards of *different* models interleaved so no device
+  waits on a single model's sequential dependency chain.
+* :class:`~repro.scheduler.hybrid.HybridShardDataParallelStrategy` — Hydra
+  shards combined with Cerebro-style data-partition hopping.
+"""
+
+from repro.scheduler.task import TaskKind, ShardTask, TrainingJob, build_task_graph
+from repro.scheduler.placement import (
+    Placement,
+    round_robin_placement,
+    memory_aware_placement,
+    plan_waves,
+)
+from repro.scheduler.policies import (
+    fifo_policy,
+    backward_first_policy,
+    critical_path_policy,
+    model_round_robin_policy,
+    random_policy,
+    get_policy,
+)
+from repro.scheduler.ranking import compute_upward_ranks
+from repro.scheduler.base import Strategy, ScheduleResult
+from repro.scheduler.single_device import SingleDeviceStrategy
+from repro.scheduler.task_parallel import TaskParallelStrategy
+from repro.scheduler.model_parallel import ModelParallelStrategy
+from repro.scheduler.shard_parallel import ShardParallelStrategy
+from repro.scheduler.hybrid import HybridShardDataParallelStrategy
+
+__all__ = [
+    "TaskKind",
+    "ShardTask",
+    "TrainingJob",
+    "build_task_graph",
+    "Placement",
+    "round_robin_placement",
+    "memory_aware_placement",
+    "plan_waves",
+    "fifo_policy",
+    "backward_first_policy",
+    "critical_path_policy",
+    "model_round_robin_policy",
+    "random_policy",
+    "get_policy",
+    "compute_upward_ranks",
+    "Strategy",
+    "ScheduleResult",
+    "SingleDeviceStrategy",
+    "TaskParallelStrategy",
+    "ModelParallelStrategy",
+    "ShardParallelStrategy",
+    "HybridShardDataParallelStrategy",
+]

@@ -1,0 +1,166 @@
+"""Strategy interface and shared machinery for converting shard tasks to simulator tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import ClusterSimulator, SimTask
+from repro.cluster.trace import ExecutionTrace
+from repro.scheduler.placement import Placement
+from repro.scheduler.task import ShardTask, TaskKind, TrainingJob
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a set of jobs under one strategy."""
+
+    strategy: str
+    trace: ExecutionTrace
+    jobs: List[TrainingJob]
+    placements: List[Placement] = field(default_factory=list)
+    waves: int = 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan
+
+    @property
+    def cluster_utilization(self) -> float:
+        return self.trace.utilization()
+
+    @property
+    def total_samples(self) -> int:
+        return sum(job.total_samples for job in self.jobs)
+
+    @property
+    def throughput_samples_per_second(self) -> float:
+        return self.trace.throughput(self.total_samples)
+
+    def speedup_over(self, other: "ScheduleResult") -> float:
+        """How much faster this schedule finished the same work than ``other``."""
+        if self.makespan == 0:
+            return float("inf")
+        return other.makespan / self.makespan
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "num_models": len(self.jobs),
+            "makespan_seconds": self.makespan,
+            "cluster_utilization": self.cluster_utilization,
+            "throughput_samples_per_second": self.throughput_samples_per_second,
+            "waves": self.waves,
+            "peak_memory_bytes": dict(self.trace.peak_memory_bytes),
+        }
+
+
+class Strategy:
+    """Base class: a strategy maps jobs onto a cluster and simulates the run."""
+
+    #: short name used in reports and benchmark tables
+    name: str = "strategy"
+
+    def __init__(self, policy: Optional[Callable[[str, List[SimTask]], SimTask]] = None):
+        self.policy = policy
+
+    def schedule(self, jobs: Sequence[TrainingJob], cluster: Cluster) -> ScheduleResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _simulate(self, cluster: Cluster, sim_tasks: Sequence[SimTask]) -> ExecutionTrace:
+        simulator = ClusterSimulator(cluster, policy=self.policy)
+        return simulator.run(sim_tasks)
+
+    @staticmethod
+    def to_sim_tasks(
+        tasks: Sequence[ShardTask],
+        placement: Placement,
+        extra_deps: Optional[Dict[str, List[str]]] = None,
+        track_activation_memory: bool = True,
+        priorities: Optional[Dict[str, float]] = None,
+    ) -> List[SimTask]:
+        """Pin each shard task to its placed device and attach transfer/memory effects.
+
+        ``extra_deps`` lets strategies add ordering edges beyond the intrinsic
+        training dependencies (e.g. classic model parallelism serialising
+        whole models, or wave barriers).
+        """
+        extra_deps = extra_deps or {}
+        sim_tasks: List[SimTask] = []
+        for task in tasks:
+            device = placement.device_for(task.model_id, task.shard_index)
+            transfers = []
+            if task.input_bytes > 0:
+                if task.kind == TaskKind.FORWARD and task.shard_index > 0:
+                    src = placement.device_for(task.model_id, task.shard_index - 1)
+                    transfers.append((src, task.input_bytes))
+                elif task.kind == TaskKind.BACKWARD:
+                    src = placement.device_for(task.model_id, task.shard_index + 1)
+                    transfers.append((src, task.input_bytes))
+            transfers.extend(task.extra_transfers)
+            allocations = []
+            releases = []
+            if track_activation_memory and task.activation_bytes > 0:
+                activation_key = (
+                    f"{task.model_id}/shard{task.shard_index}/activations"
+                    f"/e{task.epoch}/b{task.batch_index}"
+                )
+                if task.kind == TaskKind.FORWARD:
+                    allocations.append((activation_key, task.activation_bytes))
+                elif task.kind == TaskKind.BACKWARD:
+                    releases.append(activation_key)
+            deps = list(task.deps) + list(extra_deps.get(task.task_id, []))
+            tags = {
+                "model": task.model_id,
+                "shard": task.shard_index,
+                "kind": task.kind.value,
+                "epoch": task.epoch,
+                "batch": task.batch_index,
+            }
+            if priorities is not None:
+                tags["priority"] = priorities.get(task.task_id, 0.0)
+            sim_tasks.append(
+                SimTask(
+                    task_id=task.task_id,
+                    device=device,
+                    compute_flops=task.flops,
+                    input_transfers=transfers,
+                    memory_allocations=allocations,
+                    memory_releases=releases,
+                    deps=deps,
+                    tags=tags,
+                )
+            )
+        return sim_tasks
+
+    @staticmethod
+    def job_boundary_deps(
+        earlier_jobs: Sequence[TrainingJob],
+        later_jobs: Sequence[TrainingJob],
+        tasks_by_job: Dict[str, List[ShardTask]],
+    ) -> Dict[str, List[str]]:
+        """Barrier edges making every task of ``later_jobs`` wait for ``earlier_jobs``.
+
+        Only the *first* task of each later job gains dependencies (a later
+        job's remaining tasks already depend on its first task transitively),
+        and it waits for every *terminal* task of each earlier job — tasks no
+        other task of that job depends on (e.g. the per-shard optimizer
+        updates of the final batch).
+        """
+        extra: Dict[str, List[str]] = {}
+        barrier_tasks: List[str] = []
+        for job in earlier_jobs:
+            tasks = tasks_by_job[job.model_id]
+            depended_upon = {dep for task in tasks for dep in task.deps}
+            barrier_tasks.extend(
+                task.task_id for task in tasks if task.task_id not in depended_upon
+            )
+        for job in later_jobs:
+            first_task = tasks_by_job[job.model_id][0]
+            extra.setdefault(first_task.task_id, []).extend(barrier_tasks)
+        return extra

@@ -1,0 +1,62 @@
+"""Baseline: classic model parallelism — one model at a time, sharded across devices.
+
+This is the regime Figure 1 of the paper criticises: the model's shards are
+spread over the GPUs, but forward and backward passes are sequential, so at
+any instant at most one device is busy and the rest idle.  Multiple models in
+a selection run are trained strictly one after another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.exceptions import SchedulingError
+from repro.scheduler.base import ScheduleResult, Strategy
+from repro.scheduler.placement import Placement
+from repro.scheduler.task import ShardTask, TrainingJob, build_task_graph
+
+
+class ModelParallelStrategy(Strategy):
+    """Shard every model across all devices; train models sequentially."""
+
+    name = "model-parallel"
+
+    def schedule(self, jobs: Sequence[TrainingJob], cluster: Cluster) -> ScheduleResult:
+        jobs = list(jobs)
+        if not jobs:
+            raise SchedulingError("no jobs to schedule")
+        devices = cluster.device_names()
+        placement = Placement()
+        tasks_by_job: Dict[str, List[ShardTask]] = {}
+        peak_demand: Dict[str, int] = {name: 0 for name in devices}
+
+        for job in jobs:
+            per_device_working: Dict[str, int] = {name: 0 for name in devices}
+            for shard in job.plan.shards:
+                device_name = devices[shard.index % len(devices)]
+                placement.assign(job.model_id, shard.index, device_name)
+                per_device_working[device_name] += shard.working_bytes
+            for name, demand in per_device_working.items():
+                if demand > cluster.device(name).spec.memory_bytes:
+                    raise SchedulingError(
+                        f"model {job.model_id!r}: shards assigned to {name!r} need "
+                        f"{demand / 2**30:.2f} GiB; increase the shard count"
+                    )
+                peak_demand[name] = max(peak_demand[name], demand)
+            tasks_by_job[job.model_id] = build_task_graph(job)
+
+        # Strict sequential execution across models.
+        extra_deps: Dict[str, List[str]] = {}
+        for previous, current in zip(jobs, jobs[1:]):
+            extra = self.job_boundary_deps([previous], [current], tasks_by_job)
+            for task_id, deps in extra.items():
+                extra_deps.setdefault(task_id, []).extend(deps)
+
+        all_tasks = [task for job in jobs for task in tasks_by_job[job.model_id]]
+        sim_tasks = self.to_sim_tasks(
+            all_tasks, placement, extra_deps=extra_deps, track_activation_memory=False
+        )
+        trace = self._simulate(cluster, sim_tasks)
+        trace.peak_memory_bytes = peak_demand
+        return ScheduleResult(strategy=self.name, trace=trace, jobs=jobs, placements=[placement])

@@ -1,0 +1,66 @@
+"""Baseline: train every model sequentially on a single device."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.exceptions import SchedulingError
+from repro.scheduler.base import ScheduleResult, Strategy
+from repro.scheduler.placement import Placement
+from repro.scheduler.task import ShardTask, TrainingJob, build_task_graph
+
+
+class SingleDeviceStrategy(Strategy):
+    """Everything on one device, one model after another.
+
+    This is the reference point the paper's small-model accuracy experiment
+    compares against, and the degenerate case of task parallelism on a
+    one-GPU cluster.  Models whose working set exceeds the device's memory
+    are rejected — that infeasibility is precisely the motivation for model
+    parallelism.
+    """
+
+    name = "single-device"
+
+    def __init__(self, device_name: str | None = None, policy=None):
+        super().__init__(policy=policy)
+        self.device_name = device_name
+
+    def schedule(self, jobs: Sequence[TrainingJob], cluster: Cluster) -> ScheduleResult:
+        jobs = list(jobs)
+        if not jobs:
+            raise SchedulingError("no jobs to schedule")
+        device = cluster.device(self.device_name) if self.device_name else cluster.devices[0]
+
+        placement = Placement()
+        tasks_by_job: Dict[str, List[ShardTask]] = {}
+        peak_demand = 0
+        for job in jobs:
+            working = sum(shard.working_bytes for shard in job.plan.shards)
+            if working > device.spec.memory_bytes:
+                raise SchedulingError(
+                    f"model {job.model_id!r} needs {working / 2**30:.2f} GiB but device "
+                    f"{device.name!r} has {device.spec.memory_bytes / 2**30:.2f} GiB; "
+                    "single-device training is infeasible (this is the case that "
+                    "motivates model parallelism)"
+                )
+            peak_demand = max(peak_demand, working)
+            for shard in job.plan.shards:
+                placement.assign(job.model_id, shard.index, device.name)
+            tasks_by_job[job.model_id] = build_task_graph(job)
+
+        # Serialise the jobs: model k may only start after model k-1 finished.
+        extra_deps: Dict[str, List[str]] = {}
+        for previous, current in zip(jobs, jobs[1:]):
+            extra = self.job_boundary_deps([previous], [current], tasks_by_job)
+            for task_id, deps in extra.items():
+                extra_deps.setdefault(task_id, []).extend(deps)
+
+        all_tasks = [task for job in jobs for task in tasks_by_job[job.model_id]]
+        sim_tasks = self.to_sim_tasks(
+            all_tasks, placement, extra_deps=extra_deps, track_activation_memory=False
+        )
+        trace = self._simulate(cluster, sim_tasks)
+        trace.peak_memory_bytes = {device.name: peak_demand}
+        return ScheduleResult(strategy=self.name, trace=trace, jobs=jobs, placements=[placement])

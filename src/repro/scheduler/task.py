@@ -1,0 +1,201 @@
+"""Shard-level task graphs.
+
+Hydra's key move is to schedule at the granularity of *(model, shard, pass,
+mini-batch)* tasks instead of whole models.  :func:`build_task_graph` turns a
+:class:`TrainingJob` (a model's sharding plan plus its epoch/batch counts)
+into exactly that task graph, with the dependencies that make sharded
+training equivalent to unsharded training:
+
+* forward of shard ``i`` needs forward of shard ``i-1`` (same batch);
+* backward of shard ``i`` needs backward of shard ``i+1`` (same batch) and
+  its own forward (for the stashed activations);
+* the optimizer update of shard ``i`` needs that shard's backward;
+* forward of shard ``i`` for batch ``b+1`` needs shard ``i``'s update for
+  batch ``b`` (weights must be current — Hydra does not pipeline batches
+  within one model).
+
+Tasks of different models share no edges; that independence is the
+parallelism the shard-parallel scheduler exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import SchedulingError
+from repro.sharding.plan import ShardingPlan
+
+#: optimizer-update FLOPs per parameter (Adam: ~6 multiply-adds per scalar)
+UPDATE_FLOPS_PER_PARAM = 6.0
+
+
+class TaskKind(str, enum.Enum):
+    """Pass direction of a shard task."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    UPDATE = "update"
+
+
+@dataclass
+class ShardTask:
+    """One schedulable unit: a pass over one shard for one mini-batch.
+
+    ``extra_transfers`` lists additional ``(source_device, bytes)`` inputs a
+    strategy wants charged before the task runs (e.g. the parameter movement
+    of a Cerebro-style model hop); the intrinsic activation/gradient transfer
+    implied by ``input_bytes`` is derived from the placement instead.
+    """
+
+    task_id: str
+    model_id: str
+    shard_index: int
+    kind: TaskKind
+    epoch: int
+    batch_index: int
+    flops: float
+    input_bytes: int
+    output_bytes: int
+    activation_bytes: int
+    deps: List[str] = field(default_factory=list)
+    extra_transfers: List[tuple] = field(default_factory=list)
+
+    @property
+    def shard_key(self) -> str:
+        return f"{self.model_id}/shard{self.shard_index}"
+
+
+@dataclass
+class TrainingJob:
+    """One model's training assignment within a selection run."""
+
+    model_id: str
+    plan: ShardingPlan
+    num_epochs: int = 1
+    batches_per_epoch: int = 1
+    samples_per_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_epochs <= 0 or self.batches_per_epoch <= 0:
+            raise SchedulingError(
+                f"job {self.model_id!r}: epochs and batches per epoch must be positive"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def total_batches(self) -> int:
+        return self.num_epochs * self.batches_per_epoch
+
+    @property
+    def total_samples(self) -> int:
+        return self.total_batches * self.samples_per_batch
+
+
+def task_id_for(model_id: str, epoch: int, batch: int, shard: int, kind: TaskKind) -> str:
+    return f"{model_id}/e{epoch}/b{batch}/s{shard}/{kind.value}"
+
+
+def build_task_graph(
+    job: TrainingJob,
+    include_updates: bool = True,
+) -> List[ShardTask]:
+    """Compile one job into its ordered list of :class:`ShardTask` items."""
+    plan = job.plan
+    shards = plan.shards
+    num_shards = len(shards)
+    tasks: List[ShardTask] = []
+
+    def previous_batch(epoch: int, batch: int) -> Optional[tuple]:
+        if batch > 0:
+            return (epoch, batch - 1)
+        if epoch > 0:
+            return (epoch - 1, job.batches_per_epoch - 1)
+        return None
+
+    for epoch in range(job.num_epochs):
+        for batch in range(job.batches_per_epoch):
+            # Forward chain.
+            for shard_index, shard in enumerate(shards):
+                deps: List[str] = []
+                if shard_index > 0:
+                    deps.append(task_id_for(job.model_id, epoch, batch, shard_index - 1, TaskKind.FORWARD))
+                prior = previous_batch(epoch, batch)
+                if prior is not None:
+                    prior_epoch, prior_batch = prior
+                    anchor = TaskKind.UPDATE if include_updates else TaskKind.BACKWARD
+                    deps.append(task_id_for(job.model_id, prior_epoch, prior_batch, shard_index, anchor))
+                tasks.append(
+                    ShardTask(
+                        task_id=task_id_for(job.model_id, epoch, batch, shard_index, TaskKind.FORWARD),
+                        model_id=job.model_id,
+                        shard_index=shard_index,
+                        kind=TaskKind.FORWARD,
+                        epoch=epoch,
+                        batch_index=batch,
+                        flops=shard.forward_flops,
+                        input_bytes=shard.input_bytes,
+                        output_bytes=shard.output_bytes,
+                        activation_bytes=shard.activation_bytes,
+                        deps=deps,
+                    )
+                )
+            # Backward chain (reverse order).
+            for shard_index in reversed(range(num_shards)):
+                shard = shards[shard_index]
+                deps = [task_id_for(job.model_id, epoch, batch, shard_index, TaskKind.FORWARD)]
+                if shard_index < num_shards - 1:
+                    deps.append(task_id_for(job.model_id, epoch, batch, shard_index + 1, TaskKind.BACKWARD))
+                tasks.append(
+                    ShardTask(
+                        task_id=task_id_for(job.model_id, epoch, batch, shard_index, TaskKind.BACKWARD),
+                        model_id=job.model_id,
+                        shard_index=shard_index,
+                        kind=TaskKind.BACKWARD,
+                        epoch=epoch,
+                        batch_index=batch,
+                        flops=shard.backward_flops,
+                        # The gradient flowing into this shard from downstream has the
+                        # size of this shard's output activation.
+                        input_bytes=shard.output_bytes if shard_index < num_shards - 1 else 0,
+                        output_bytes=shard.input_bytes,
+                        activation_bytes=shard.activation_bytes,
+                        deps=deps,
+                    )
+                )
+            # Per-shard optimizer updates.
+            if include_updates:
+                for shard_index, shard in enumerate(shards):
+                    tasks.append(
+                        ShardTask(
+                            task_id=task_id_for(job.model_id, epoch, batch, shard_index, TaskKind.UPDATE),
+                            model_id=job.model_id,
+                            shard_index=shard_index,
+                            kind=TaskKind.UPDATE,
+                            epoch=epoch,
+                            batch_index=batch,
+                            flops=shard.param_count * UPDATE_FLOPS_PER_PARAM,
+                            input_bytes=0,
+                            output_bytes=0,
+                            activation_bytes=0,
+                            deps=[task_id_for(job.model_id, epoch, batch, shard_index, TaskKind.BACKWARD)],
+                        )
+                    )
+    return tasks
+
+
+def build_task_graphs(jobs: Sequence[TrainingJob], include_updates: bool = True) -> List[ShardTask]:
+    """Task graphs for several independent jobs, concatenated."""
+    ids: Dict[str, TrainingJob] = {}
+    for job in jobs:
+        if job.model_id in ids:
+            raise SchedulingError(f"duplicate model id {job.model_id!r} in job list")
+        ids[job.model_id] = job
+    tasks: List[ShardTask] = []
+    for job in jobs:
+        tasks.extend(build_task_graph(job, include_updates=include_updates))
+    return tasks

@@ -1,0 +1,65 @@
+"""Baseline: task parallelism — one whole model per device at a time.
+
+This is the regime of Ray Tune / Vizier style model selection: trials are
+independent processes pinned to whole GPUs.  It parallelises perfectly across
+models but (a) cannot train a model whose working set exceeds one device and
+(b) leaves devices idle once their queue of models drains (the "tail" effect
+Figure 2 illustrates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.exceptions import SchedulingError
+from repro.scheduler.base import ScheduleResult, Strategy
+from repro.scheduler.placement import Placement
+from repro.scheduler.task import ShardTask, TrainingJob, build_task_graph
+
+
+class TaskParallelStrategy(Strategy):
+    """Round-robin whole models across devices; serialise models sharing a device."""
+
+    name = "task-parallel"
+
+    def schedule(self, jobs: Sequence[TrainingJob], cluster: Cluster) -> ScheduleResult:
+        jobs = list(jobs)
+        if not jobs:
+            raise SchedulingError("no jobs to schedule")
+        devices = cluster.devices
+        placement = Placement()
+        tasks_by_job: Dict[str, List[ShardTask]] = {}
+        queue_per_device: Dict[str, List[TrainingJob]] = {d.name: [] for d in devices}
+        peak_demand: Dict[str, int] = {d.name: 0 for d in devices}
+
+        for index, job in enumerate(jobs):
+            device = devices[index % len(devices)]
+            working = sum(shard.working_bytes for shard in job.plan.shards)
+            if working > device.spec.memory_bytes:
+                raise SchedulingError(
+                    f"task parallelism cannot train model {job.model_id!r}: it needs "
+                    f"{working / 2**30:.2f} GiB on a single device but {device.name!r} has "
+                    f"{device.spec.memory_bytes / 2**30:.2f} GiB — the model must be sharded"
+                )
+            peak_demand[device.name] = max(peak_demand[device.name], working)
+            for shard in job.plan.shards:
+                placement.assign(job.model_id, shard.index, device.name)
+            tasks_by_job[job.model_id] = build_task_graph(job)
+            queue_per_device[device.name].append(job)
+
+        # Jobs queued on the same device run one after another.
+        extra_deps: Dict[str, List[str]] = {}
+        for queue in queue_per_device.values():
+            for previous, current in zip(queue, queue[1:]):
+                extra = self.job_boundary_deps([previous], [current], tasks_by_job)
+                for task_id, deps in extra.items():
+                    extra_deps.setdefault(task_id, []).extend(deps)
+
+        all_tasks = [task for job in jobs for task in tasks_by_job[job.model_id]]
+        sim_tasks = self.to_sim_tasks(
+            all_tasks, placement, extra_deps=extra_deps, track_activation_memory=False
+        )
+        trace = self._simulate(cluster, sim_tasks)
+        trace.peak_memory_bytes = peak_demand
+        return ScheduleResult(strategy=self.name, trace=trace, jobs=jobs, placements=[placement])

@@ -1,0 +1,23 @@
+"""Model selection: search spaces, search drivers, and Cerebro-style hopping."""
+
+from repro.selection.search_space import Choice, Uniform, LogUniform, SearchSpace
+from repro.selection.experiment import TrialConfig, TrialResult, SelectionResult, ExperimentTracker
+from repro.selection.grid_search import grid_search
+from repro.selection.random_search import random_search
+from repro.selection.successive_halving import successive_halving
+from repro.selection.cerebro import CerebroModelHopper
+
+__all__ = [
+    "Choice",
+    "Uniform",
+    "LogUniform",
+    "SearchSpace",
+    "TrialConfig",
+    "TrialResult",
+    "SelectionResult",
+    "ExperimentTracker",
+    "grid_search",
+    "random_search",
+    "successive_halving",
+    "CerebroModelHopper",
+]

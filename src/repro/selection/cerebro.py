@@ -1,0 +1,122 @@
+"""Cerebro-style model hopping on real data partitions.
+
+Cerebro (Nakandala et al.) shards the *dataset* across workers and hops
+models between workers between sub-epochs, so every model sees all the data
+once per epoch while data never moves.  The paper names Cerebro as the model
+selection system Hydra integrates with; this module implements the hopper on
+the real (numpy) execution path, and the scheduler-level counterpart lives in
+:class:`repro.scheduler.hybrid.HybridShardDataParallelStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.data.partition import partition_dataset
+from repro.exceptions import SchedulingError
+from repro.models.base import ShardableModel
+from repro.optim.optimizer import Optimizer
+from repro.training.metrics import MetricTracker
+from repro.training.sharded_trainer import ShardedModelExecutor
+from repro.training.trainer import TrainingReport
+
+
+@dataclass
+class _HopperSlot:
+    model_id: str
+    executor: ShardedModelExecutor
+    optimizer: Optimizer
+    report: TrainingReport
+    tracker: MetricTracker = field(default_factory=MetricTracker)
+
+
+class CerebroModelHopper:
+    """Train several (optionally sharded) models by hopping them across data partitions."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_workers: int,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if num_workers <= 0:
+            raise SchedulingError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+        self.batch_size = int(batch_size)
+        self.partitions = partition_dataset(dataset, self.num_workers, shuffle=shuffle, seed=seed)
+        self.loaders = [
+            DataLoader(partition, batch_size=batch_size, shuffle=shuffle, seed=seed + index)
+            for index, partition in enumerate(self.partitions)
+        ]
+        self._slots: List[_HopperSlot] = []
+
+    def add_model(
+        self,
+        model: ShardableModel,
+        optimizer: Optimizer,
+        boundaries: Optional[Sequence[Tuple[int, int]]] = None,
+        model_id: Optional[str] = None,
+    ) -> None:
+        """Register a model; ``boundaries`` defaults to a single shard (no model parallelism)."""
+        if boundaries is None:
+            boundaries = [(0, model.num_blocks())]
+        executor = ShardedModelExecutor(model, boundaries)
+        model_id = model_id or model.model_name
+        self._slots.append(
+            _HopperSlot(
+                model_id=model_id,
+                executor=executor,
+                optimizer=optimizer,
+                report=TrainingReport(model_id=model_id),
+            )
+        )
+
+    @property
+    def num_models(self) -> int:
+        return len(self._slots)
+
+    def hop_schedule(self, epoch: int) -> List[List[Tuple[int, int]]]:
+        """Per sub-epoch list of ``(model_index, worker_index)`` assignments.
+
+        The schedule is a Latin square: in sub-epoch ``s`` model ``m`` visits
+        worker ``(m + s + epoch) % num_workers``, so over one epoch each model
+        sees every partition exactly once and no worker hosts two models in
+        the same sub-epoch (when ``num_models <= num_workers``).
+        """
+        schedule: List[List[Tuple[int, int]]] = []
+        for sub_epoch in range(self.num_workers):
+            assignments = [
+                (model_index, (model_index + sub_epoch + epoch) % self.num_workers)
+                for model_index in range(self.num_models)
+            ]
+            schedule.append(assignments)
+        return schedule
+
+    def train_epoch(self, epoch: int = 0) -> Dict[str, Dict[str, float]]:
+        """One full epoch: every model visits every partition exactly once."""
+        if not self._slots:
+            raise SchedulingError("no models registered")
+        for assignments in self.hop_schedule(epoch):
+            for model_index, worker_index in assignments:
+                slot = self._slots[model_index]
+                loader = self.loaders[worker_index]
+                loader.set_epoch(epoch)
+                for batch in loader:
+                    loss = slot.executor.train_step(batch, slot.optimizer)
+                    slot.tracker.update(loss=loss)
+        results: Dict[str, Dict[str, float]] = {}
+        for slot in self._slots:
+            metrics = slot.tracker.end_epoch()
+            slot.report.epochs.append(metrics)
+            results[slot.model_id] = metrics
+        return results
+
+    def fit(self, num_epochs: int = 1) -> Dict[str, TrainingReport]:
+        for epoch in range(num_epochs):
+            self.train_epoch(epoch)
+        return {slot.model_id: slot.report for slot in self._slots}

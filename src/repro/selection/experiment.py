@@ -1,0 +1,106 @@
+"""Trial bookkeeping for model-selection runs."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import SearchSpaceError
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """One candidate configuration in a selection run."""
+
+    trial_id: str
+    hyperparameters: Dict[str, Any]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.hyperparameters.get(name, default)
+
+
+@dataclass
+class TrialResult:
+    """Outcome of training one trial (possibly for a partial budget)."""
+
+    trial_id: str
+    hyperparameters: Dict[str, Any]
+    metrics: Dict[str, float]
+    epochs_trained: int
+    wall_seconds: float = 0.0
+
+    def metric(self, name: str) -> float:
+        if name not in self.metrics:
+            raise KeyError(f"trial {self.trial_id} has no metric {name!r}; has {sorted(self.metrics)}")
+        return self.metrics[name]
+
+
+@dataclass
+class SelectionResult:
+    """Results of a whole selection run."""
+
+    method: str
+    objective: str
+    mode: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise SearchSpaceError("selection produced no trials")
+        reverse = self.mode == "max"
+        return sorted(self.trials, key=lambda t: t.metric(self.objective), reverse=reverse)[0]
+
+    def ranked(self) -> List[TrialResult]:
+        reverse = self.mode == "max"
+        return sorted(self.trials, key=lambda t: t.metric(self.objective), reverse=reverse)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+
+class ExperimentTracker:
+    """Collects trial results and exposes leaderboard-style queries."""
+
+    def __init__(self, objective: str = "loss", mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise SearchSpaceError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.objective = objective
+        self.mode = mode
+        self.trials: List[TrialResult] = []
+        self._start_times: Dict[str, float] = {}
+
+    def start_trial(self, trial_id: str) -> None:
+        self._start_times[trial_id] = time.monotonic()
+
+    def record(
+        self,
+        trial_id: str,
+        hyperparameters: Dict[str, Any],
+        metrics: Dict[str, float],
+        epochs_trained: int,
+    ) -> TrialResult:
+        if self.objective not in metrics:
+            raise SearchSpaceError(
+                f"metrics for trial {trial_id!r} lack the objective {self.objective!r}"
+            )
+        elapsed = 0.0
+        if trial_id in self._start_times:
+            elapsed = time.monotonic() - self._start_times.pop(trial_id)
+        result = TrialResult(
+            trial_id=trial_id,
+            hyperparameters=dict(hyperparameters),
+            metrics=dict(metrics),
+            epochs_trained=epochs_trained,
+            wall_seconds=elapsed,
+        )
+        self.trials.append(result)
+        return result
+
+    def best(self) -> TrialResult:
+        return self.as_result("tracker").best()
+
+    def as_result(self, method: str) -> SelectionResult:
+        return SelectionResult(
+            method=method, objective=self.objective, mode=self.mode, trials=list(self.trials)
+        )

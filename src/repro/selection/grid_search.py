@@ -1,0 +1,36 @@
+"""Exhaustive grid search."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.search_space import SearchSpace
+
+#: a train function receives (config, num_epochs) and returns a metrics dict
+TrainFn = Callable[[TrialConfig, int], Dict[str, float]]
+
+
+def grid_search(
+    search_space: SearchSpace,
+    train_fn: TrainFn,
+    num_epochs: int = 1,
+    objective: str = "loss",
+    mode: str = "min",
+    max_trials: Optional[int] = None,
+) -> SelectionResult:
+    """Train every configuration on the Cartesian grid and rank by ``objective``.
+
+    This is the workload shape the paper's motivating example describes (a
+    radiologist comparing dozens of configurations): an embarrassingly
+    parallel set of independent training jobs.
+    """
+    tracker = ExperimentTracker(objective=objective, mode=mode)
+    for index, hyperparameters in enumerate(search_space.grid()):
+        if max_trials is not None and index >= max_trials:
+            break
+        trial = TrialConfig(trial_id=f"grid-{index}", hyperparameters=hyperparameters)
+        tracker.start_trial(trial.trial_id)
+        metrics = train_fn(trial, num_epochs)
+        tracker.record(trial.trial_id, hyperparameters, metrics, epochs_trained=num_epochs)
+    return tracker.as_result("grid_search")

@@ -1,0 +1,34 @@
+"""Random search over a hyper-parameter space."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.grid_search import TrainFn
+from repro.selection.search_space import SearchSpace
+
+
+def random_search(
+    search_space: SearchSpace,
+    train_fn: TrainFn,
+    num_trials: int = 16,
+    num_epochs: int = 1,
+    objective: str = "loss",
+    mode: str = "min",
+    seed: Optional[int] = 0,
+) -> SelectionResult:
+    """Sample ``num_trials`` configurations independently and rank them."""
+    if num_trials <= 0:
+        raise ValueError(f"num_trials must be positive, got {num_trials}")
+    rng = np.random.default_rng(seed)
+    tracker = ExperimentTracker(objective=objective, mode=mode)
+    for index in range(num_trials):
+        hyperparameters = search_space.sample(rng)
+        trial = TrialConfig(trial_id=f"random-{index}", hyperparameters=hyperparameters)
+        tracker.start_trial(trial.trial_id)
+        metrics = train_fn(trial, num_epochs)
+        tracker.record(trial.trial_id, hyperparameters, metrics, epochs_trained=num_epochs)
+    return tracker.as_result("random_search")

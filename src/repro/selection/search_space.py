@@ -1,0 +1,130 @@
+"""Hyper-parameter search spaces.
+
+A :class:`SearchSpace` maps parameter names to distributions.  Grid search
+enumerates :class:`Choice` parameters (continuous parameters must be given a
+grid explicitly); random search samples every parameter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+
+
+class Distribution:
+    """Base class for hyper-parameter distributions."""
+
+    def sample(self, rng: np.random.Generator) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def grid_values(self) -> List[Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Choice(Distribution):
+    """A finite set of candidate values."""
+
+    def __init__(self, values: Sequence[Any]):
+        if not values:
+            raise SearchSpaceError("Choice requires at least one value")
+        self.values = list(values)
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.values[int(rng.integers(0, len(self.values)))]
+
+    def grid_values(self) -> List[Any]:
+        return list(self.values)
+
+    def __repr__(self) -> str:
+        return f"Choice({self.values})"
+
+
+class Uniform(Distribution):
+    """Continuous uniform distribution on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if high <= low:
+            raise SearchSpaceError(f"Uniform requires high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def grid_values(self) -> List[Any]:
+        raise SearchSpaceError(
+            "Uniform parameters cannot be grid-enumerated; use Choice for grid search"
+        )
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class LogUniform(Distribution):
+    """Log-uniform distribution on ``[low, high]`` (e.g. learning rates)."""
+
+    def __init__(self, low: float, high: float):
+        if low <= 0 or high <= low:
+            raise SearchSpaceError(f"LogUniform requires 0 < low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(math.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+
+    def grid_values(self) -> List[Any]:
+        raise SearchSpaceError(
+            "LogUniform parameters cannot be grid-enumerated; use Choice for grid search"
+        )
+
+    def __repr__(self) -> str:
+        return f"LogUniform({self.low}, {self.high})"
+
+
+class SearchSpace:
+    """A named collection of hyper-parameter distributions."""
+
+    def __init__(self, parameters: Dict[str, Distribution | Sequence[Any]]):
+        if not parameters:
+            raise SearchSpaceError("search space must define at least one parameter")
+        self.parameters: Dict[str, Distribution] = {}
+        for name, dist in parameters.items():
+            if isinstance(dist, Distribution):
+                self.parameters[name] = dist
+            elif isinstance(dist, (list, tuple)):
+                self.parameters[name] = Choice(dist)
+            else:
+                raise SearchSpaceError(
+                    f"parameter {name!r}: expected a Distribution or a sequence of choices, "
+                    f"got {type(dist).__name__}"
+                )
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        """Draw one configuration."""
+        generator = rng if rng is not None else np.random.default_rng()
+        return {name: dist.sample(generator) for name, dist in self.parameters.items()}
+
+    def grid(self) -> Iterator[Dict[str, Any]]:
+        """Enumerate the full Cartesian grid (Choice parameters only)."""
+        names = list(self.parameters)
+        value_lists = [self.parameters[name].grid_values() for name in names]
+        for combination in itertools.product(*value_lists):
+            yield dict(zip(names, combination))
+
+    def grid_size(self) -> int:
+        size = 1
+        for dist in self.parameters.values():
+            size *= len(dist.grid_values())
+        return size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.parameters
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={dist!r}" for name, dist in self.parameters.items())
+        return f"SearchSpace({inner})"

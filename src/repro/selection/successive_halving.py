@@ -1,0 +1,80 @@
+"""Successive halving (the core of Hyperband/ASHA-style early stopping).
+
+Model-selection systems such as Ray Tune pair task parallelism with early
+stopping; Hydra is agnostic to the stopping rule because it schedules at the
+shard level.  This implementation exists so the examples can demonstrate the
+full selection stack (search + early stopping + shard-parallel training).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.search_space import SearchSpace
+
+#: resumable train function: (config, num_epochs, previous_state) -> (metrics, state)
+ResumableTrainFn = Callable[[TrialConfig, int, object], tuple]
+
+
+def successive_halving(
+    search_space: SearchSpace,
+    train_fn: ResumableTrainFn,
+    num_trials: int = 8,
+    min_epochs: int = 1,
+    reduction_factor: int = 2,
+    max_rungs: Optional[int] = None,
+    objective: str = "loss",
+    mode: str = "min",
+    seed: Optional[int] = 0,
+) -> SelectionResult:
+    """Run successive halving: all trials start, the worst are culled each rung.
+
+    ``train_fn`` must be resumable: it receives the opaque state it returned
+    for the same trial on the previous rung (or ``None`` on the first rung)
+    and continues training from there for ``num_epochs`` more epochs.
+    """
+    if num_trials <= 1:
+        raise SearchSpaceError("successive halving needs at least two trials")
+    if reduction_factor < 2:
+        raise SearchSpaceError(f"reduction_factor must be >= 2, got {reduction_factor}")
+    rng = np.random.default_rng(seed)
+    tracker = ExperimentTracker(objective=objective, mode=mode)
+
+    trials: List[TrialConfig] = [
+        TrialConfig(trial_id=f"sha-{i}", hyperparameters=search_space.sample(rng))
+        for i in range(num_trials)
+    ]
+    states: Dict[str, object] = {trial.trial_id: None for trial in trials}
+    epochs_done: Dict[str, int] = {trial.trial_id: 0 for trial in trials}
+
+    total_rungs = max_rungs if max_rungs is not None else max(
+        1, int(math.floor(math.log(num_trials, reduction_factor)))
+    )
+    survivors = list(trials)
+    epochs_this_rung = min_epochs
+    for rung in range(total_rungs + 1):
+        scored = []
+        for trial in survivors:
+            tracker.start_trial(trial.trial_id)
+            metrics, state = train_fn(trial, epochs_this_rung, states[trial.trial_id])
+            states[trial.trial_id] = state
+            epochs_done[trial.trial_id] += epochs_this_rung
+            result = tracker.record(
+                trial.trial_id,
+                trial.hyperparameters,
+                metrics,
+                epochs_trained=epochs_done[trial.trial_id],
+            )
+            scored.append((result.metric(objective), trial))
+        if len(survivors) <= 1 or rung == total_rungs:
+            break
+        scored.sort(key=lambda item: item[0], reverse=(mode == "max"))
+        keep = max(1, len(survivors) // reduction_factor)
+        survivors = [trial for _, trial in scored[:keep]]
+        epochs_this_rung *= reduction_factor
+    return tracker.as_result("successive_halving")

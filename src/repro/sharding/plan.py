@@ -1,0 +1,113 @@
+"""Sharding plans: boundaries plus derived shard cost objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import PartitionError
+from repro.profiling.cost_model import ModelProfile
+from repro.sharding.shard import ModelShard
+
+
+@dataclass
+class ShardingPlan:
+    """How one model is split into shards for a given batch size.
+
+    ``boundaries`` is a list of half-open block ranges that must be
+    contiguous, non-empty, and cover every block exactly once.
+    """
+
+    model_id: str
+    profile: ModelProfile
+    boundaries: List[Tuple[int, int]]
+    batch_size: int = 1
+    shards: List[ModelShard] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._check_boundaries()
+        self.shards = [self._build_shard(i, rng) for i, rng in enumerate(self.boundaries)]
+
+    def _check_boundaries(self) -> None:
+        if not self.boundaries:
+            raise PartitionError("a sharding plan needs at least one shard")
+        if self.batch_size <= 0:
+            raise PartitionError(f"batch_size must be positive, got {self.batch_size}")
+        expected_start = 0
+        for start, stop in self.boundaries:
+            if start != expected_start:
+                raise PartitionError(
+                    f"shard boundaries must be contiguous: expected start {expected_start}, got {start}"
+                )
+            if stop <= start:
+                raise PartitionError(f"empty shard range ({start}, {stop})")
+            expected_start = stop
+        if expected_start != len(self.profile):
+            raise PartitionError(
+                f"boundaries cover {expected_start} blocks but the model has {len(self.profile)}"
+            )
+
+    def _build_shard(self, index: int, block_range: Tuple[int, int]) -> ModelShard:
+        start, stop = block_range
+        blocks = self.profile.blocks[start:stop]
+        param_count = sum(b.param_count for b in blocks)
+        param_bytes = sum(b.param_bytes for b in blocks)
+        optimizer_bytes = param_count * self.profile.optimizer_bytes_per_param
+        activation_bytes = sum(b.activation_bytes_per_sample for b in blocks) * self.batch_size
+        input_bytes = (
+            self.profile.blocks[start - 1].output_bytes_per_sample * self.batch_size
+            if start > 0
+            else 0
+        )
+        output_bytes = blocks[-1].output_bytes_per_sample * self.batch_size
+        forward_flops = sum(b.forward_flops_per_sample for b in blocks) * self.batch_size
+        backward_flops = sum(b.backward_flops_per_sample for b in blocks) * self.batch_size
+        return ModelShard(
+            model_id=self.model_id,
+            index=index,
+            block_range=block_range,
+            block_names=tuple(b.name for b in blocks),
+            param_count=param_count,
+            param_bytes=param_bytes,
+            optimizer_bytes=optimizer_bytes,
+            activation_bytes=activation_bytes,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            forward_flops=forward_flops,
+            backward_flops=backward_flops,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def max_shard_working_bytes(self) -> int:
+        return max(shard.working_bytes for shard in self.shards)
+
+    @property
+    def total_param_count(self) -> int:
+        return sum(shard.param_count for shard in self.shards)
+
+    def memory_reduction_factor(self) -> float:
+        """Unsharded working memory divided by the largest shard's working memory.
+
+        This is the quantity behind the paper's "3× reduction in per-device
+        memory usage" headline for 4-way BERT-Large model parallelism.
+        """
+        total_working = sum(shard.working_bytes for shard in self.shards)
+        return total_working / self.max_shard_working_bytes
+
+    def shard_for_block(self, block_index: int) -> ModelShard:
+        for shard in self.shards:
+            start, stop = shard.block_range
+            if start <= block_index < stop:
+                return shard
+        raise PartitionError(f"block index {block_index} outside model range")
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)

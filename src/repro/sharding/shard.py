@@ -1,0 +1,74 @@
+"""The :class:`ModelShard` value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ModelShard:
+    """A contiguous slice of a model's block sequence.
+
+    All byte/FLOP figures are already scaled to the training batch size used
+    by the owning :class:`~repro.sharding.plan.ShardingPlan`.
+
+    Attributes
+    ----------
+    model_id:
+        Identifier of the model this shard belongs to.
+    index:
+        Position of the shard in the model's pipeline (0-based).
+    block_range:
+        Half-open ``(start, stop)`` range of block indices covered.
+    param_count / param_bytes / optimizer_bytes:
+        Static storage owned by the shard while it is resident on a device.
+    activation_bytes:
+        Peak intermediate activations held between forward and backward.
+    input_bytes / output_bytes:
+        Size of the activation tensors crossing the shard's boundaries —
+        what must move over the interconnect when neighbouring shards live
+        on different devices.
+    forward_flops / backward_flops:
+        Work per mini-batch for each pass direction.
+    """
+
+    model_id: str
+    index: int
+    block_range: Tuple[int, int]
+    block_names: Tuple[str, ...]
+    param_count: int
+    param_bytes: int
+    optimizer_bytes: int
+    activation_bytes: int
+    input_bytes: int
+    output_bytes: int
+    forward_flops: float
+    backward_flops: float
+
+    @property
+    def num_blocks(self) -> int:
+        start, stop = self.block_range
+        return stop - start
+
+    @property
+    def resident_bytes(self) -> int:
+        """Memory the shard occupies just by being placed on a device."""
+        return self.param_bytes + self.optimizer_bytes
+
+    @property
+    def working_bytes(self) -> int:
+        """Memory needed while the shard is actively training a batch."""
+        return self.resident_bytes + self.activation_bytes
+
+    @property
+    def shard_id(self) -> str:
+        return f"{self.model_id}/shard{self.index}"
+
+    def __str__(self) -> str:
+        start, stop = self.block_range
+        return (
+            f"{self.shard_id}[blocks {start}:{stop}, "
+            f"{self.param_count / 1e6:.1f}M params, "
+            f"{self.working_bytes / 2**30:.2f} GiB working]"
+        )

@@ -1,0 +1,17 @@
+"""Training engines that really execute models on the numpy engine."""
+
+from repro.training.metrics import MetricTracker, accuracy_from_logits
+from repro.training.trainer import Trainer, TrainingReport
+from repro.training.sharded_trainer import ShardedModelExecutor, ShardParallelTrainer
+from repro.training.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "MetricTracker",
+    "accuracy_from_logits",
+    "Trainer",
+    "TrainingReport",
+    "ShardedModelExecutor",
+    "ShardParallelTrainer",
+    "save_checkpoint",
+    "load_checkpoint",
+]

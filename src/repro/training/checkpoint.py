@@ -1,0 +1,45 @@
+"""Model checkpointing to ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.nn.module import Module
+
+
+def save_checkpoint(model: Module, path: str | Path, metadata: Dict[str, object] | None = None) -> Path:
+    """Write the model's parameters (and optional metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    payload = {f"param::{name}": values for name, values in state.items()}
+    if metadata:
+        for key, value in metadata.items():
+            payload[f"meta::{key}"] = np.asarray(value)
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(model: Module, path: str | Path) -> Dict[str, np.ndarray]:
+    """Restore parameters saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file {path} does not exist")
+    archive = np.load(path, allow_pickle=False)
+    state = {}
+    metadata = {}
+    for key in archive.files:
+        if key.startswith("param::"):
+            state[key[len("param::"):]] = archive[key]
+        elif key.startswith("meta::"):
+            metadata[key[len("meta::"):]] = archive[key]
+    if not state:
+        raise CheckpointError(f"checkpoint {path} contains no parameters")
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,49 @@
+"""Training metrics."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+
+def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy for (N, C) logits against integer labels."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} does not match labels {labels.shape}"
+        )
+    return float((predictions == labels).mean())
+
+
+class MetricTracker:
+    """Accumulates scalar metrics and reports per-epoch means."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, List[float]] = defaultdict(list)
+        self.history: List[Dict[str, float]] = []
+
+    def update(self, **metrics: float) -> None:
+        for name, value in metrics.items():
+            self._values[name].append(float(value))
+
+    def mean(self, name: str) -> float:
+        values = self._values.get(name)
+        if not values:
+            raise KeyError(f"no values recorded for metric {name!r}")
+        return float(np.mean(values))
+
+    def end_epoch(self) -> Dict[str, float]:
+        """Snapshot the epoch means, clear accumulators, and return the snapshot."""
+        snapshot = {name: float(np.mean(values)) for name, values in self._values.items()}
+        self.history.append(snapshot)
+        self._values.clear()
+        return snapshot
+
+    def latest(self) -> Dict[str, float]:
+        if not self.history:
+            raise ValueError("no completed epochs")
+        return self.history[-1]

@@ -1,0 +1,301 @@
+"""Sharded execution with exact gradient equivalence.
+
+:class:`ShardedModelExecutor` runs one model *shard by shard*, the way a
+model-parallel system would: the autograd graph is cut at every shard
+boundary, shards keep their own activation stashes, and gradients are handed
+across boundaries explicitly during the backward pass.  Because only the
+graph structure changes — not the arithmetic — the resulting parameter
+gradients are identical to whole-model backpropagation, which is the paper's
+"exact replication of model training output" desideratum (D3) and what the
+parity tests/benchmark verify.
+
+:class:`ShardParallelTrainer` layers the multi-model part on top: it drives
+several executors at shard-task granularity in a Hydra-like interleaved
+order over a set of simulated devices, so the examples can show real
+training happening under shard parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataloader import Batch, DataLoader
+from repro.exceptions import SchedulingError
+from repro.models.base import ShardableModel
+from repro.optim.optimizer import Optimizer
+from repro.training.metrics import MetricTracker
+from repro.training.trainer import TrainingReport
+
+
+def _detach_state(state: Any) -> Any:
+    """Detach a boundary state from the upstream graph, re-enabling gradients.
+
+    Supports a single tensor or a tuple/list of tensors (non-tensor entries
+    pass through unchanged, e.g. attention masks carried as numpy arrays).
+    """
+    if isinstance(state, Tensor):
+        detached = state.detach()
+        detached.requires_grad = True
+        return detached
+    if isinstance(state, (tuple, list)):
+        return type(state)(_detach_state(item) for item in state)
+    return state
+
+
+def _state_tensors(state: Any) -> List[Tensor]:
+    if isinstance(state, Tensor):
+        return [state]
+    if isinstance(state, (tuple, list)):
+        tensors: List[Tensor] = []
+        for item in state:
+            tensors.extend(_state_tensors(item))
+        return tensors
+    return []
+
+
+@dataclass
+class _ShardContext:
+    """Activation stash for one shard of one in-flight mini-batch."""
+
+    boundary_input: Any = None
+    output: Any = None
+
+
+class ShardedModelExecutor:
+    """Executes one shardable model as a pipeline of graph-disconnected shards."""
+
+    def __init__(self, model: ShardableModel, boundaries: Sequence[Tuple[int, int]]):
+        self.model = model
+        self.boundaries = [tuple(b) for b in boundaries]
+        self._validate_boundaries()
+        self._contexts: List[_ShardContext] = []
+        self._loss: Optional[Tensor] = None
+
+    def _validate_boundaries(self) -> None:
+        expected = 0
+        for start, stop in self.boundaries:
+            if start != expected or stop <= start:
+                raise SchedulingError(
+                    f"invalid shard boundaries {self.boundaries} for model "
+                    f"{self.model.model_name!r}"
+                )
+            expected = stop
+        if expected != self.model.num_blocks():
+            raise SchedulingError(
+                f"boundaries cover {expected} blocks but model has {self.model.num_blocks()}"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.boundaries)
+
+    # ------------------------------------------------------------------ #
+    # Fine-grained task API (mirrors the scheduler's FORWARD/BACKWARD/UPDATE)
+    # ------------------------------------------------------------------ #
+    def begin_batch(self) -> None:
+        """Reset per-batch activation stashes."""
+        self._contexts = [_ShardContext() for _ in self.boundaries]
+        self._loss = None
+
+    def run_forward(self, shard_index: int, batch: Batch) -> Any:
+        """Forward pass of one shard; stores the boundary input and output."""
+        context = self._contexts[shard_index]
+        if shard_index == 0:
+            state: Any = None
+        else:
+            upstream = self._contexts[shard_index - 1].output
+            state = _detach_state(upstream)
+        context.boundary_input = state
+        start, stop = self.boundaries[shard_index]
+        for block_index in range(start, stop):
+            state = self.model.run_block(block_index, state, batch)
+        context.output = state
+        return state
+
+    def compute_loss(self, batch: Batch) -> Tensor:
+        """Loss on the final shard's output (graph still attached to that shard only)."""
+        final_output = self._contexts[-1].output
+        self._loss = self.model.compute_loss(final_output, batch)
+        return self._loss
+
+    def run_backward(self, shard_index: int) -> None:
+        """Backward pass of one shard, consuming the downstream boundary gradient."""
+        context = self._contexts[shard_index]
+        if shard_index == self.num_shards - 1:
+            if self._loss is None:
+                raise SchedulingError("compute_loss must run before the last shard's backward")
+            self._loss.backward()
+        else:
+            downstream_input = self._contexts[shard_index + 1].boundary_input
+            boundary_grads = [
+                tensor.grad for tensor in _state_tensors(downstream_input)
+            ]
+            output_tensors = _state_tensors(context.output)
+            if len(boundary_grads) != len(output_tensors):
+                raise SchedulingError(
+                    "boundary gradient structure does not match shard output structure"
+                )
+            for tensor, grad in zip(output_tensors, boundary_grads):
+                if grad is None:
+                    continue
+                tensor.backward(grad)
+
+    def shard_parameters(self, shard_index: int) -> List:
+        """Parameters owned by the blocks of one shard."""
+        start, stop = self.boundaries[shard_index]
+        params: List = []
+        for block_index in range(start, stop):
+            params.extend(self.model.block_parameters(block_index))
+        return params
+
+    # ------------------------------------------------------------------ #
+    # Whole-step convenience
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: Batch, optimizer: Optimizer) -> float:
+        """One full sharded optimisation step (forward chain, loss, backward chain, update)."""
+        self.begin_batch()
+        self.model.zero_grad()
+        for shard_index in range(self.num_shards):
+            self.run_forward(shard_index, batch)
+        loss = self.compute_loss(batch)
+        for shard_index in reversed(range(self.num_shards)):
+            self.run_backward(shard_index)
+        optimizer.step()
+        return loss.item()
+
+    def forward_only(self, batch: Batch) -> Any:
+        """Sharded inference (no gradients kept beyond the shard boundaries)."""
+        self.begin_batch()
+        output = None
+        for shard_index in range(self.num_shards):
+            output = self.run_forward(shard_index, batch)
+        return output
+
+
+@dataclass
+class _ModelSlot:
+    """Book-keeping for one model managed by the shard-parallel trainer."""
+
+    model_id: str
+    executor: ShardedModelExecutor
+    optimizer: Optimizer
+    loader: DataLoader
+    report: TrainingReport
+    tracker: MetricTracker = field(default_factory=MetricTracker)
+    shard_devices: List[int] = field(default_factory=list)
+
+
+class ShardParallelTrainer:
+    """Hydra-style interleaved training of several sharded models.
+
+    ``num_devices`` simulated devices execute shard tasks; shard ``i`` of
+    model ``j`` is pinned to device ``(i + j) % num_devices``.  The trainer
+    walks mini-batches of all models concurrently, issuing forward/backward
+    shard tasks in a round-robin over models — the numerical results are
+    independent of the interleaving because models share no state, which is
+    exactly why Hydra's fine-grained schedule is safe.
+    """
+
+    def __init__(self, num_devices: int = 2):
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        self.num_devices = int(num_devices)
+        self._slots: List[_ModelSlot] = []
+
+    def add_model(
+        self,
+        model: ShardableModel,
+        optimizer: Optimizer,
+        loader: DataLoader,
+        boundaries: Sequence[Tuple[int, int]],
+        model_id: Optional[str] = None,
+    ) -> None:
+        """Register a model (with its sharding boundaries) for interleaved training."""
+        executor = ShardedModelExecutor(model, boundaries)
+        model_id = model_id or model.model_name
+        slot_index = len(self._slots)
+        shard_devices = [
+            (shard + slot_index) % self.num_devices for shard in range(executor.num_shards)
+        ]
+        self._slots.append(
+            _ModelSlot(
+                model_id=model_id,
+                executor=executor,
+                optimizer=optimizer,
+                loader=loader,
+                report=TrainingReport(model_id=model_id),
+                shard_devices=shard_devices,
+            )
+        )
+
+    @property
+    def num_models(self) -> int:
+        return len(self._slots)
+
+    def device_of(self, model_index: int, shard_index: int) -> int:
+        return self._slots[model_index].shard_devices[shard_index]
+
+    def train_epoch(self, epoch: int = 0) -> Dict[str, Dict[str, float]]:
+        """Run one epoch for every registered model, interleaving shard tasks."""
+        if not self._slots:
+            raise SchedulingError("no models registered")
+        iterators = []
+        for slot in self._slots:
+            slot.loader.set_epoch(epoch)
+            iterators.append(iter(slot.loader))
+
+        # Per-model in-flight batch state machine.
+        batches: List[Optional[Batch]] = [None] * len(self._slots)
+        phases: List[str] = ["fetch"] * len(self._slots)
+        cursors: List[int] = [0] * len(self._slots)
+        finished = [False] * len(self._slots)
+
+        while not all(finished):
+            progressed = False
+            for index, slot in enumerate(self._slots):
+                if finished[index]:
+                    continue
+                progressed = True
+                if phases[index] == "fetch":
+                    try:
+                        batches[index] = next(iterators[index])
+                    except StopIteration:
+                        finished[index] = True
+                        continue
+                    slot.executor.begin_batch()
+                    slot.executor.model.zero_grad()
+                    phases[index] = "forward"
+                    cursors[index] = 0
+                elif phases[index] == "forward":
+                    slot.executor.run_forward(cursors[index], batches[index])
+                    cursors[index] += 1
+                    if cursors[index] == slot.executor.num_shards:
+                        loss = slot.executor.compute_loss(batches[index])
+                        slot.tracker.update(loss=loss.item())
+                        phases[index] = "backward"
+                        cursors[index] = slot.executor.num_shards - 1
+                elif phases[index] == "backward":
+                    slot.executor.run_backward(cursors[index])
+                    cursors[index] -= 1
+                    if cursors[index] < 0:
+                        slot.optimizer.step()
+                        phases[index] = "fetch"
+            if not progressed:
+                break
+
+        results: Dict[str, Dict[str, float]] = {}
+        for slot in self._slots:
+            epoch_metrics = slot.tracker.end_epoch()
+            slot.report.epochs.append(epoch_metrics)
+            results[slot.model_id] = epoch_metrics
+        return results
+
+    def fit(self, num_epochs: int = 1) -> Dict[str, TrainingReport]:
+        """Train every registered model for ``num_epochs`` epochs."""
+        for epoch in range(num_epochs):
+            self.train_epoch(epoch)
+        return {slot.model_id: slot.report for slot in self._slots}

@@ -1,0 +1,106 @@
+"""Single-process reference trainer (the unsharded baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.models.base import ShardableModel
+from repro.optim.lr_scheduler import LRScheduler
+from repro.optim.optimizer import Optimizer
+from repro.training.metrics import MetricTracker
+from repro.utils.logging import get_logger
+
+logger = get_logger("training")
+
+
+@dataclass
+class TrainingReport:
+    """Per-epoch history of one training run."""
+
+    model_id: str
+    epochs: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1]["loss"] if self.epochs else float("nan")
+
+    def metric_series(self, name: str) -> List[float]:
+        return [epoch[name] for epoch in self.epochs if name in epoch]
+
+
+class Trainer:
+    """Plain mini-batch training of one model on one (logical) device.
+
+    This is the ground-truth execution path that the sharded executor must
+    match bit-for-bit (paper desideratum D3).
+    """
+
+    def __init__(
+        self,
+        model: ShardableModel,
+        optimizer: Optimizer,
+        loader: DataLoader,
+        scheduler: Optional[LRScheduler] = None,
+        eval_loader: Optional[DataLoader] = None,
+        label_field: str = "label",
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loader = loader
+        self.scheduler = scheduler
+        self.eval_loader = eval_loader
+        self.label_field = label_field
+
+    def train_step(self, batch) -> float:
+        """One optimisation step; returns the batch loss."""
+        loss = self.model.loss_on_batch(batch)
+        self.model.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        if self.scheduler is not None:
+            self.scheduler.step()
+        return loss.item()
+
+    def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
+        """Mean loss (and accuracy when labels are categorical) over a loader."""
+        loader = loader if loader is not None else self.eval_loader
+        if loader is None:
+            raise ValueError("no evaluation loader provided")
+        losses = []
+        accuracies = []
+        self.model.eval()
+        try:
+            for batch in loader:
+                outputs = self.model.forward(batch)
+                losses.append(self.model.compute_loss(outputs, batch).item())
+                if self.label_field in batch:
+                    predictions = self.model.predict(outputs)
+                    labels = np.asarray(batch[self.label_field])
+                    if predictions.shape == labels.shape:
+                        accuracies.append(float((predictions == labels).mean()))
+        finally:
+            self.model.train()
+        metrics = {"loss": float(np.mean(losses))}
+        if accuracies:
+            metrics["accuracy"] = float(np.mean(accuracies))
+        return metrics
+
+    def fit(self, num_epochs: int = 1) -> TrainingReport:
+        """Train for ``num_epochs`` epochs and return the per-epoch history."""
+        report = TrainingReport(model_id=self.model.model_name)
+        tracker = MetricTracker()
+        for epoch in range(num_epochs):
+            self.loader.set_epoch(epoch)
+            for batch in self.loader:
+                tracker.update(loss=self.train_step(batch))
+            epoch_metrics = tracker.end_epoch()
+            if self.eval_loader is not None:
+                eval_metrics = self.evaluate()
+                epoch_metrics.update({f"eval_{k}": v for k, v in eval_metrics.items()})
+            report.epochs.append(epoch_metrics)
+            logger.debug("model %s epoch %d: %s", self.model.model_name, epoch, epoch_metrics)
+        return report

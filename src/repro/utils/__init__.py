@@ -1,0 +1,18 @@
+"""Shared utilities: RNG management, logging, formatting, serialization."""
+
+from repro.utils.rng import RandomState, get_rng, seed_everything, temporary_seed
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.tabulate import format_table
+from repro.utils.serialization import to_json, from_json
+
+__all__ = [
+    "RandomState",
+    "get_rng",
+    "seed_everything",
+    "temporary_seed",
+    "get_logger",
+    "set_verbosity",
+    "format_table",
+    "to_json",
+    "from_json",
+]

@@ -1,0 +1,42 @@
+"""Lightweight logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace; :func:`set_verbosity` configures a sensible default
+handler for scripts and benchmarks without forcing a configuration on
+applications that embed the library.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_LOGGER_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("scheduler")`` returns the ``repro.scheduler`` logger;
+    ``get_logger()`` returns the package root logger.
+    """
+    if name:
+        return logging.getLogger(f"{_ROOT_LOGGER_NAME}.{name}")
+    return logging.getLogger(_ROOT_LOGGER_NAME)
+
+
+def set_verbosity(level: int | str = logging.INFO) -> None:
+    """Attach a stderr handler to the package logger and set its level."""
+    global _configured
+    logger = logging.getLogger(_ROOT_LOGGER_NAME)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    logger.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        _configured = True

@@ -1,0 +1,42 @@
+"""JSON (de)serialisation helpers tolerant of numpy scalar types."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars/arrays and dataclasses."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        if isinstance(o, (np.bool_,)):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        return super().default(o)
+
+
+def to_json(obj: Any, path: str | Path | None = None, indent: int = 2) -> str:
+    """Serialise ``obj`` to a JSON string, optionally writing it to ``path``."""
+    text = json.dumps(obj, cls=_NumpyJSONEncoder, indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def from_json(source: str | Path) -> Any:
+    """Parse JSON from a string or a file path."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".json")):
+        return json.loads(Path(source).read_text())
+    return json.loads(source)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.data import DataLoader, SyntheticSpanDataset, make_classification
+from repro.models import BertConfig, FeedForwardConfig, FeedForwardNetwork
+from repro.utils.rng import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rng():
+    """Every test starts from the same global RNG state."""
+    seed_everything(1234)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def tiny_mlp_config() -> FeedForwardConfig:
+    return FeedForwardConfig.tiny(input_dim=16, num_classes=4)
+
+
+@pytest.fixture
+def tiny_mlp(tiny_mlp_config) -> FeedForwardNetwork:
+    return FeedForwardNetwork(tiny_mlp_config, seed=3)
+
+
+@pytest.fixture
+def classification_data():
+    return make_classification(
+        num_samples=96, num_features=16, num_classes=4, rng=np.random.default_rng(11)
+    )
+
+
+@pytest.fixture
+def classification_loader(classification_data) -> DataLoader:
+    return DataLoader(classification_data, batch_size=16, shuffle=False)
+
+
+@pytest.fixture
+def classification_batch(classification_loader):
+    return next(iter(classification_loader))
+
+
+@pytest.fixture
+def tiny_bert_config() -> BertConfig:
+    return BertConfig.tiny(vocab_size=64, seq_len=32)
+
+
+@pytest.fixture
+def span_dataset() -> SyntheticSpanDataset:
+    return SyntheticSpanDataset(
+        num_samples=24, seq_len=32, vocab_size=64, rng=np.random.default_rng(5)
+    )
+
+
+@pytest.fixture
+def span_batch(span_dataset):
+    return next(iter(DataLoader(span_dataset, batch_size=8)))
+
+
+@pytest.fixture
+def four_gpu_cluster() -> Cluster:
+    return Cluster.single_server(4, "v100-16gb")
+
+
+@pytest.fixture
+def two_gpu_cluster() -> Cluster:
+    return Cluster.single_server(2, "v100-16gb")
+
+
+@pytest.fixture
+def bert_large_profile():
+    return BertConfig.bert_large().profile(seq_len=384)
+
+
+@pytest.fixture
+def mlp_profile():
+    return FeedForwardConfig.paper_1_2m().profile()

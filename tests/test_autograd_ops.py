@@ -1,0 +1,309 @@
+"""Gradient correctness for every primitive op (against numerical derivatives)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+from repro.exceptions import ShapeError
+
+
+def randn(*shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div_values(self):
+        a = Tensor([4.0, 9.0])
+        b = Tensor([2.0, 3.0])
+        assert np.allclose((a + b).data, [6.0, 12.0])
+        assert np.allclose((a - b).data, [2.0, 6.0])
+        assert np.allclose((a * b).data, [8.0, 27.0])
+        assert np.allclose((a / b).data, [2.0, 3.0])
+
+    def test_scalar_operands_both_sides(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((a + 1).data, [2.0, 3.0])
+        assert np.allclose((1 + a).data, [2.0, 3.0])
+        assert np.allclose((3 - a).data, [2.0, 1.0])
+        assert np.allclose((2 * a).data, [2.0, 4.0])
+        assert np.allclose((2 / a).data, [2.0, 1.0])
+        assert np.allclose((-a).data, [-1.0, -2.0])
+        assert np.allclose((a ** 2).data, [1.0, 4.0])
+
+    def test_broadcasting_forward(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose((a + b).data, [[2, 3, 4], [2, 3, 4]])
+
+    def test_exp_log_sqrt(self):
+        a = Tensor([1.0, 4.0])
+        assert np.allclose(a.sqrt().data, [1.0, 2.0])
+        assert np.allclose(a.log().data, np.log([1.0, 4.0]))
+        assert np.allclose(a.exp().data, np.exp([1.0, 4.0]))
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        check_gradients(lambda a, b: (a + b).sum(), [randn(3, 2), randn(3, 2, seed=1)])
+
+    def test_add_broadcast_gradient(self):
+        check_gradients(lambda a, b: (a + b).sum(), [randn(3, 4), randn(4, seed=2)])
+
+    def test_sub_gradient(self):
+        check_gradients(lambda a, b: ((a - b) ** 2).mean(), [randn(2, 5), randn(2, 5, seed=3)])
+
+    def test_mul_broadcast_gradient(self):
+        check_gradients(lambda a, b: (a * b).sum(), [randn(2, 3), randn(1, 3, seed=4)])
+
+    def test_div_gradient(self):
+        divisor = Tensor(np.random.default_rng(5).uniform(1.0, 2.0, size=(3, 3)), requires_grad=True)
+        check_gradients(lambda a, b: (a / b).sum(), [randn(3, 3), divisor])
+
+    def test_neg_pow_gradient(self):
+        check_gradients(lambda a: ((-a) ** 3).sum(), [randn(4)])
+
+    def test_exp_gradient(self):
+        check_gradients(lambda a: a.exp().sum(), [randn(3, 3)])
+
+    def test_log_gradient(self):
+        positive = Tensor(np.random.default_rng(6).uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda a: a.log().sum(), [positive])
+
+    def test_sqrt_gradient(self):
+        positive = Tensor(np.random.default_rng(7).uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda a: a.sqrt().sum(), [positive])
+
+
+class TestMatmul:
+    def test_matmul_forward_matches_numpy(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 5))
+        out = Tensor(a) @ Tensor(b)
+        assert np.allclose(out.data, a @ b, atol=1e-6)
+
+    def test_matmul_gradient_2d(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [randn(3, 4), randn(4, 2, seed=1)])
+
+    def test_matmul_gradient_batched(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [randn(2, 3, 4), randn(2, 4, 2, seed=1)])
+
+    def test_matmul_gradient_broadcast_batch(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [randn(2, 3, 4), randn(4, 2, seed=1)])
+
+    def test_matmul_vector(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [randn(3, 4), randn(4, seed=2)])
+
+    def test_matmul_rejects_scalars(self):
+        with pytest.raises(ShapeError):
+            ops.matmul(Tensor(np.float32(2.0)), Tensor([1.0]))
+
+
+class TestActivations:
+    def test_relu_forward_and_grad(self):
+        x = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        y = x.relu()
+        assert np.allclose(y.data, [0.0, 0.0, 2.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_tanh_gradient(self):
+        check_gradients(lambda a: a.tanh().sum(), [randn(4, 3)])
+
+    def test_sigmoid_gradient(self):
+        check_gradients(lambda a: a.sigmoid().sum(), [randn(5)])
+
+    def test_sigmoid_range(self):
+        y = Tensor(np.linspace(-10, 10, 21)).sigmoid()
+        assert np.all(y.data > 0) and np.all(y.data < 1)
+
+    def test_gelu_gradient(self):
+        check_gradients(lambda a: ops.gelu(a).sum(), [randn(4, 4)])
+
+    def test_gelu_matches_reference_at_zero_and_large(self):
+        x = Tensor([0.0, 10.0, -10.0])
+        y = ops.gelu(x)
+        assert y.data[0] == pytest.approx(0.0, abs=1e-6)
+        assert y.data[1] == pytest.approx(10.0, rel=1e-3)
+        assert y.data[2] == pytest.approx(0.0, abs=1e-3)
+
+    def test_softmax_rows_sum_to_one(self):
+        y = ops.softmax(randn(6, 10), axis=-1)
+        assert np.allclose(y.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_softmax_gradient(self):
+        check_gradients(lambda a: (ops.softmax(a, axis=-1) ** 2).sum(), [randn(3, 5)])
+
+    def test_log_softmax_gradient(self):
+        check_gradients(lambda a: (ops.log_softmax(a) * 0.5).sum(), [randn(4, 6)])
+
+    def test_log_softmax_is_log_of_softmax(self):
+        x = randn(3, 7)
+        assert np.allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), atol=1e-6
+        )
+
+    def test_softmax_numerical_stability_large_inputs(self):
+        x = Tensor([[1000.0, 1000.0, 1000.0]])
+        y = ops.softmax(x)
+        assert np.allclose(y.data, [[1 / 3, 1 / 3, 1 / 3]], atol=1e-6)
+
+
+class TestReductions:
+    def test_sum_axis_and_keepdims(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert x.sum().data == pytest.approx(15.0)
+        assert np.allclose(x.sum(axis=0).data, [3, 5, 7])
+        assert x.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_gradient(self):
+        check_gradients(lambda a: (a.sum(axis=0) ** 2).sum(), [randn(3, 4)])
+
+    def test_mean_gradient(self):
+        check_gradients(lambda a: a.mean(), [randn(4, 5)])
+
+    def test_mean_axis_gradient(self):
+        check_gradients(lambda a: (a.mean(axis=1) ** 2).sum(), [randn(3, 6)])
+
+    def test_max_forward(self):
+        x = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert x.max().data == pytest.approx(7.0)
+        assert np.allclose(x.max(axis=1).data, [5.0, 7.0])
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 3.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor([[2.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_max_gradient_numerical(self):
+        check_gradients(lambda a: a.max(axis=-1).sum(), [randn(4, 5)])
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self):
+        check_gradients(lambda a: (a.reshape(6, 2) ** 2).sum(), [randn(3, 4)])
+
+    def test_transpose_gradient(self):
+        check_gradients(lambda a: (a.transpose(1, 0, 2) ** 2).sum(), [randn(2, 3, 4)])
+
+    def test_default_transpose_reverses_axes(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+
+    def test_getitem_slice_gradient(self):
+        check_gradients(lambda a: (a[1:, :2] ** 2).sum(), [randn(4, 3)])
+
+    def test_getitem_integer_index_gradient(self):
+        x = Tensor(np.arange(12, dtype=np.float64).reshape(3, 4), requires_grad=True)
+        x[1].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_last_axis_column(self):
+        x = randn(2, 3, 2)
+        y = x[:, :, 0]
+        assert y.shape == (2, 3)
+        check_gradients(lambda a: (a[:, :, 0] ** 2).sum(), [randn(2, 3, 2)])
+
+    def test_concat_forward_and_gradient(self):
+        a, b = randn(2, 3), randn(2, 2, seed=1)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        check_gradients(
+            lambda x, y: (ops.concat([x, y], axis=1) ** 2).sum(),
+            [randn(2, 3), randn(2, 2, seed=1)],
+        )
+
+    def test_embedding_gradient_accumulates_repeated_rows(self):
+        weight = Tensor(np.ones((4, 3), dtype=np.float64), requires_grad=True)
+        indices = np.array([1, 1, 2])
+        ops.embedding(weight, indices).sum().backward()
+        assert np.allclose(weight.grad[1], [2.0, 2.0, 2.0])
+        assert np.allclose(weight.grad[2], [1.0, 1.0, 1.0])
+        assert np.allclose(weight.grad[0], 0.0)
+
+    def test_where_gradient(self):
+        condition = np.array([[True, False], [False, True]])
+        check_gradients(
+            lambda a, b: ops.where(condition, a, b).sum(),
+            [randn(2, 2), randn(2, 2, seed=1)],
+        )
+
+    def test_dropout_op_scales_by_keep_prob(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        mask = np.array([1.0, 0.0, 1.0, 1.0])
+        y = ops.dropout(x, mask=mask, keep_prob=0.5)
+        assert np.allclose(y.data, [2.0, 0.0, 2.0, 2.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 2.0, 2.0])
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]])
+        targets = np.array([0, 1])
+        loss = ops.cross_entropy(Tensor(logits), targets)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -(log_probs[0, 0] + log_probs[1, 1]) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_gradient(self):
+        check_gradients(
+            lambda a: ops.cross_entropy(a, np.array([0, 2, 1])), [randn(3, 4)]
+        )
+
+    def test_cross_entropy_ignore_index(self):
+        logits = randn(4, 3)
+        full = ops.cross_entropy(logits, np.array([0, 1, 2, 1]))
+        partial = ops.cross_entropy(Tensor(logits.data), np.array([0, 1, -100, -100]))
+        assert partial.item() != pytest.approx(full.item())
+
+    def test_cross_entropy_ignored_rows_get_zero_gradient(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        ops.cross_entropy(logits, np.array([1, -100, 2])).backward()
+        assert np.allclose(logits.grad[1], 0.0)
+        assert not np.allclose(logits.grad[0], 0.0)
+
+    def test_cross_entropy_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            ops.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            ops.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_mse_matches_manual_and_gradient(self):
+        predictions = np.array([[1.0, 2.0], [3.0, 4.0]])
+        targets = np.zeros((2, 2))
+        loss = ops.mse_loss(Tensor(predictions), targets)
+        assert loss.item() == pytest.approx((predictions ** 2).mean())
+        check_gradients(lambda a: ops.mse_loss(a, np.ones((3, 2))), [randn(3, 2)])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.mse_loss(Tensor(np.zeros((2, 2))), np.zeros((3, 2)))
+
+
+class TestCompositeGraphs:
+    def test_two_layer_network_gradient(self):
+        def network(x, w1, w2):
+            hidden = (x @ w1).relu()
+            return ops.cross_entropy(hidden @ w2, np.array([0, 1, 1, 0]))
+
+        check_gradients(
+            network,
+            [randn(4, 5), randn(5, 6, seed=1), randn(6, 3, seed=2)],
+            atol=1e-3,
+        )
+
+    def test_layernorm_like_expression_gradient(self):
+        def layer_norm(x):
+            mean = x.mean(axis=-1, keepdims=True)
+            centered = x - mean
+            variance = (centered * centered).mean(axis=-1, keepdims=True)
+            return (centered / (variance + 1e-5).sqrt()).sum()
+
+        check_gradients(layer_norm, [randn(3, 8)])

@@ -1,0 +1,354 @@
+"""Tests for devices, interconnect, cluster, and the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSimulator,
+    Device,
+    DeviceSpec,
+    ExecutionTrace,
+    GPU_PRESETS,
+    INTERCONNECT_PRESETS,
+    Interconnect,
+    LinkSpec,
+    SimTask,
+    TaskRecord,
+)
+from repro.exceptions import ConfigurationError, OutOfDeviceMemoryError, SimulationError
+
+GIB = 1024 ** 3
+
+
+class TestDeviceSpec:
+    def test_presets_exist(self):
+        assert "v100-16gb" in GPU_PRESETS
+        assert GPU_PRESETS["v100-16gb"].memory_bytes == 16 * GIB
+
+    def test_compute_time(self):
+        spec = DeviceSpec("toy", memory_bytes=GIB, flops_per_second=1e9)
+        assert spec.compute_time(2e9) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            spec.compute_time(-1)
+
+
+class TestDeviceMemoryLedger:
+    def _device(self, memory=1000):
+        return Device(DeviceSpec("toy", memory_bytes=memory, flops_per_second=1e9), name="gpu0")
+
+    def test_allocate_release_cycle(self):
+        device = self._device()
+        device.allocate("a", 400)
+        assert device.used_bytes == 400
+        assert device.free_bytes == 600
+        assert device.holds("a")
+        assert device.release("a") == 400
+        assert device.used_bytes == 0
+
+    def test_peak_tracking(self):
+        device = self._device()
+        device.allocate("a", 400)
+        device.allocate("b", 500)
+        device.release("a")
+        assert device.peak_bytes == 900
+
+    def test_over_allocation_raises(self):
+        device = self._device(100)
+        with pytest.raises(OutOfDeviceMemoryError) as excinfo:
+            device.allocate("big", 200)
+        assert excinfo.value.device_name == "gpu0"
+        assert excinfo.value.requested_bytes == 200
+
+    def test_duplicate_key_rejected(self):
+        device = self._device()
+        device.allocate("x", 10)
+        with pytest.raises(ConfigurationError):
+            device.allocate("x", 10)
+
+    def test_release_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._device().release("nope")
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            self._device().allocate("neg", -1)
+
+    def test_reset(self):
+        device = self._device()
+        device.allocate("a", 10)
+        device.reset()
+        assert device.used_bytes == 0 and device.peak_bytes == 0
+
+
+class TestInterconnect:
+    def test_link_transfer_time(self):
+        link = LinkSpec("test", bandwidth_bytes_per_second=1e9, latency_seconds=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+        assert link.transfer_time(0) == 0.0
+        with pytest.raises(ValueError):
+            link.transfer_time(-5)
+
+    def test_same_device_transfer_is_free(self):
+        net = Interconnect()
+        assert net.transfer_time(10 ** 9, "gpu0", "gpu0") == 0.0
+
+    def test_default_link_used_between_distinct_devices(self):
+        net = Interconnect(default_link=INTERCONNECT_PRESETS["pcie-gen3"])
+        expected = INTERCONNECT_PRESETS["pcie-gen3"].transfer_time(1_000_000)
+        assert net.transfer_time(1_000_000, "gpu0", "gpu1") == pytest.approx(expected)
+
+    def test_override_is_symmetric(self):
+        net = Interconnect()
+        net.set_link("gpu0", "gpu1", INTERCONNECT_PRESETS["nvlink2"])
+        fast = net.transfer_time(10 ** 8, "gpu1", "gpu0")
+        slow = net.transfer_time(10 ** 8, "gpu0", "gpu2")
+        assert fast < slow
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect().set_link("gpu0", "gpu0", INTERCONNECT_PRESETS["nvlink2"])
+
+    def test_nvlink_faster_than_pcie(self):
+        nvlink = INTERCONNECT_PRESETS["nvlink2"].transfer_time(10 ** 9)
+        pcie = INTERCONNECT_PRESETS["pcie-gen3"].transfer_time(10 ** 9)
+        assert nvlink < pcie
+
+
+class TestCluster:
+    def test_single_server_factory(self):
+        cluster = Cluster.single_server(4, "v100-16gb")
+        assert len(cluster) == 4
+        assert cluster.device_names() == ["gpu0", "gpu1", "gpu2", "gpu3"]
+        assert cluster.total_memory_bytes == 4 * 16 * GIB
+
+    def test_unknown_device_lookup(self):
+        cluster = Cluster.single_server(2)
+        with pytest.raises(ConfigurationError):
+            cluster.device("gpu9")
+
+    def test_duplicate_names_rejected(self):
+        spec = GPU_PRESETS["v100-16gb"]
+        with pytest.raises(ConfigurationError):
+            Cluster([Device(spec, "a"), Device(spec, "a")])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ConfigurationError):
+            Cluster.single_server(0)
+
+    def test_reset_clears_all_devices(self):
+        cluster = Cluster.single_server(2)
+        cluster.device("gpu0").allocate("x", 100)
+        cluster.reset()
+        assert cluster.device("gpu0").used_bytes == 0
+
+
+class TestSimulator:
+    def _cluster(self, n=2):
+        spec = DeviceSpec("unit", memory_bytes=10 * GIB, flops_per_second=1e9)
+        return Cluster([Device(spec, f"gpu{i}") for i in range(n)])
+
+    def test_single_task(self):
+        cluster = self._cluster(1)
+        trace = ClusterSimulator(cluster).run([SimTask("t0", "gpu0", compute_flops=2e9)])
+        assert trace.makespan == pytest.approx(2.0)
+        assert trace.records[0].device == "gpu0"
+
+    def test_duration_override(self):
+        cluster = self._cluster(1)
+        trace = ClusterSimulator(cluster).run(
+            [SimTask("t0", "gpu0", compute_flops=5e9, duration_seconds=0.5)]
+        )
+        assert trace.makespan == pytest.approx(0.5)
+
+    def test_dependencies_respected(self):
+        cluster = self._cluster(2)
+        tasks = [
+            SimTask("a", "gpu0", compute_flops=1e9),
+            SimTask("b", "gpu1", compute_flops=1e9, deps=["a"]),
+        ]
+        trace = ClusterSimulator(cluster).run(tasks)
+        rec = {r.task_id: r for r in trace.records}
+        assert rec["b"].start >= rec["a"].end
+
+    def test_independent_tasks_run_in_parallel(self):
+        cluster = self._cluster(2)
+        tasks = [SimTask(f"t{i}", f"gpu{i}", compute_flops=1e9) for i in range(2)]
+        trace = ClusterSimulator(cluster).run(tasks)
+        assert trace.makespan == pytest.approx(1.0)
+        assert trace.utilization() == pytest.approx(1.0)
+
+    def test_device_exclusivity(self):
+        cluster = self._cluster(1)
+        tasks = [SimTask(f"t{i}", "gpu0", compute_flops=1e9) for i in range(3)]
+        trace = ClusterSimulator(cluster).run(tasks)
+        assert trace.makespan == pytest.approx(3.0)
+        records = sorted(trace.records, key=lambda r: r.start)
+        for first, second in zip(records, records[1:]):
+            assert second.start >= first.end
+
+    def test_transfer_time_added(self):
+        cluster = self._cluster(2)
+        tasks = [
+            SimTask("producer", "gpu0", compute_flops=1e9),
+            SimTask("consumer", "gpu1", compute_flops=1e9, deps=["producer"],
+                    input_transfers=[("gpu0", 12 * 10 ** 9)]),
+        ]
+        trace = ClusterSimulator(cluster).run(tasks)
+        consumer = next(r for r in trace.records if r.task_id == "consumer")
+        assert consumer.transfer_seconds > 0.9
+        assert trace.makespan == pytest.approx(1.0 + consumer.transfer_seconds + 1.0)
+
+    def test_same_device_transfer_free(self):
+        cluster = self._cluster(1)
+        tasks = [
+            SimTask("producer", "gpu0", compute_flops=1e9),
+            SimTask("consumer", "gpu0", compute_flops=1e9, deps=["producer"],
+                    input_transfers=[("gpu0", 10 ** 12)]),
+        ]
+        trace = ClusterSimulator(cluster).run(tasks)
+        assert trace.makespan == pytest.approx(2.0)
+
+    def test_memory_allocation_and_release(self):
+        cluster = self._cluster(1)
+        tasks = [
+            SimTask("alloc", "gpu0", compute_flops=1e9,
+                    memory_allocations=[("buffer", 5 * GIB)]),
+            SimTask("free", "gpu0", compute_flops=1e9, deps=["alloc"],
+                    memory_releases=["buffer"]),
+        ]
+        trace = ClusterSimulator(cluster).run(tasks)
+        assert trace.peak_memory_bytes["gpu0"] == 5 * GIB
+        assert cluster.device("gpu0").used_bytes == 0
+
+    def test_memory_overflow_raises(self):
+        cluster = self._cluster(1)
+        tasks = [SimTask("big", "gpu0", memory_allocations=[("x", 100 * GIB)])]
+        with pytest.raises(OutOfDeviceMemoryError):
+            ClusterSimulator(cluster).run(tasks)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(self._cluster(1)).run([SimTask("t", "gpu7")])
+
+    def test_duplicate_task_id_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(self._cluster(1)).run(
+                [SimTask("t", "gpu0"), SimTask("t", "gpu0")]
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(self._cluster(1)).run([SimTask("t", "gpu0", deps=["ghost"])])
+
+    def test_cycle_detected_as_deadlock(self):
+        tasks = [
+            SimTask("a", "gpu0", deps=["b"]),
+            SimTask("b", "gpu0", deps=["a"]),
+        ]
+        with pytest.raises(SimulationError):
+            ClusterSimulator(self._cluster(1)).run(tasks)
+
+    def test_policy_controls_ordering(self):
+        cluster = self._cluster(1)
+
+        def prefer_tagged(device, ready):
+            important = [t for t in ready if t.tags.get("important")]
+            return important[0] if important else ready[0]
+
+        tasks = [
+            SimTask("boring", "gpu0", compute_flops=1e9),
+            SimTask("critical", "gpu0", compute_flops=1e9, tags={"important": True}),
+        ]
+        trace = ClusterSimulator(cluster, policy=prefer_tagged).run(tasks)
+        first = min(trace.records, key=lambda r: r.start)
+        assert first.task_id == "critical"
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            cluster = self._cluster(3)
+            rng = np.random.default_rng(0)
+            tasks = []
+            for i in range(30):
+                deps = [f"t{i - 1}"] if i % 5 else []
+                tasks.append(
+                    SimTask(f"t{i}", f"gpu{i % 3}", compute_flops=float(rng.integers(1, 10)) * 1e8,
+                            deps=deps)
+                )
+            trace = ClusterSimulator(cluster).run(tasks)
+            return [(r.task_id, r.start, r.end) for r in trace.records]
+
+        assert run_once() == run_once()
+
+
+class TestExecutionTrace:
+    def _trace(self):
+        records = [
+            TaskRecord("a", "gpu0", 0.0, 2.0, 2.0, 0.0, {"model": "m0"}),
+            TaskRecord("b", "gpu1", 1.0, 2.0, 0.5, 0.5, {"model": "m1"}),
+            TaskRecord("c", "gpu0", 2.0, 4.0, 2.0, 0.0, {"model": "m1"}),
+        ]
+        return ExecutionTrace(device_names=["gpu0", "gpu1"], records=records,
+                              peak_memory_bytes={"gpu0": 100, "gpu1": 50})
+
+    def test_makespan_and_busy(self):
+        trace = self._trace()
+        assert trace.makespan == 4.0
+        assert trace.busy_seconds("gpu0") == 4.0
+        assert trace.busy_seconds("gpu1") == 1.0
+        assert trace.busy_seconds() == 5.0
+
+    def test_utilization(self):
+        trace = self._trace()
+        assert trace.utilization("gpu0") == pytest.approx(1.0)
+        assert trace.utilization("gpu1") == pytest.approx(0.25)
+        assert trace.utilization() == pytest.approx(5.0 / 8.0)
+        assert trace.idle_seconds("gpu1") == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace(device_names=["gpu0"])
+        assert trace.makespan == 0.0
+        assert trace.utilization() == 0.0
+        assert trace.throughput(10) == 0.0
+
+    def test_compute_vs_transfer_accounting(self):
+        trace = self._trace()
+        assert trace.compute_seconds("gpu1") == pytest.approx(0.5)
+
+    def test_throughput(self):
+        assert self._trace().throughput(8) == pytest.approx(2.0)
+
+    def test_records_filtering(self):
+        trace = self._trace()
+        assert len(trace.records_for(device="gpu0")) == 2
+        assert len(trace.records_for(model="m1")) == 2
+        assert len(trace.records_for(device="gpu0", model="m1")) == 1
+
+    def test_gantt_rows_sorted(self):
+        rows = self._trace().gantt_rows()
+        assert rows[0][0] == "gpu0" and rows[0][2] == 0.0
+
+    def test_summary_keys(self):
+        summary = self._trace().summary()
+        assert {"makespan_seconds", "num_tasks", "cluster_utilization",
+                "per_device_utilization", "peak_memory_bytes"} <= set(summary)
+
+    def test_concatenate_shifts_time(self):
+        trace = self._trace()
+        combined = ExecutionTrace.concatenate([trace, self._trace()])
+        assert combined.makespan == pytest.approx(8.0)
+        assert len(combined.records) == 6
+        assert combined.peak_memory_bytes["gpu0"] == 100
+
+    def test_concatenate_requires_same_devices(self):
+        other = ExecutionTrace(device_names=["gpuX"])
+        with pytest.raises(ValueError):
+            ExecutionTrace.concatenate([self._trace(), other])
+
+    def test_concatenate_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace.concatenate([])

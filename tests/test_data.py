@@ -1,0 +1,214 @@
+"""Tests for datasets, loaders, synthetic generators, and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    Subset,
+    SyntheticSpanDataset,
+    make_classification,
+    make_regression,
+    make_span_extraction,
+    make_xor,
+    partition_dataset,
+)
+from repro.data.text import CLS_TOKEN, SEP_TOKEN
+
+
+class TestArrayDataset:
+    def test_basic_indexing(self):
+        ds = ArrayDataset(features=np.arange(10).reshape(5, 2), label=np.arange(5))
+        assert len(ds) == 5
+        assert np.array_equal(ds[2]["features"], [4, 5])
+        assert ds[2]["label"] == 2
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(a=np.zeros(3), b=np.zeros(4))
+
+    def test_requires_at_least_one_array(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_out_of_range(self):
+        ds = ArrayDataset(x=np.zeros(3))
+        with pytest.raises(IndexError):
+            ds[3]
+
+    def test_fields(self):
+        ds = ArrayDataset(features=np.zeros(2), label=np.zeros(2))
+        assert ds.fields() == ["features", "label"]
+
+
+class TestSubset:
+    def test_view_semantics(self):
+        ds = ArrayDataset(x=np.arange(10))
+        sub = Subset(ds, [9, 0, 5])
+        assert len(sub) == 3
+        assert sub[0]["x"] == 9
+
+    def test_rejects_bad_indices(self):
+        ds = ArrayDataset(x=np.arange(3))
+        with pytest.raises(IndexError):
+            Subset(ds, [3])
+
+
+class TestDataLoader:
+    def test_batch_shapes_and_count(self):
+        ds = make_classification(num_samples=50, num_features=8, num_classes=3,
+                                 rng=np.random.default_rng(0))
+        loader = DataLoader(ds, batch_size=16)
+        batches = list(loader)
+        assert len(loader) == 4
+        assert len(batches) == 4
+        assert batches[0]["features"].shape == (16, 8)
+        assert batches[-1]["features"].shape == (2, 8)
+
+    def test_drop_last(self):
+        ds = make_classification(num_samples=50, rng=np.random.default_rng(0))
+        loader = DataLoader(ds, batch_size=16, drop_last=True)
+        assert len(loader) == 3
+        assert all(batch.size == 16 for batch in loader)
+
+    def test_invalid_batch_size(self):
+        ds = make_classification(num_samples=8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+    def test_shuffle_is_reproducible_given_seed_and_epoch(self):
+        ds = ArrayDataset(x=np.arange(32))
+        loader_a = DataLoader(ds, batch_size=8, shuffle=True, seed=3)
+        loader_b = DataLoader(ds, batch_size=8, shuffle=True, seed=3)
+        batches_a = [batch["x"].tolist() for batch in loader_a]
+        batches_b = [batch["x"].tolist() for batch in loader_b]
+        assert batches_a == batches_b
+
+    def test_shuffle_differs_across_epochs(self):
+        ds = ArrayDataset(x=np.arange(64))
+        loader = DataLoader(ds, batch_size=64, shuffle=True, seed=0)
+        epoch0 = next(iter(loader))["x"].tolist()
+        epoch1 = next(iter(loader))["x"].tolist()
+        assert epoch0 != epoch1
+        loader.set_epoch(0)
+        assert next(iter(loader))["x"].tolist() == epoch0
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(x=np.arange(10))
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        flat = [value for batch in loader for value in batch["x"]]
+        assert flat == list(range(10))
+
+    def test_batch_container_api(self):
+        ds = make_classification(num_samples=8, rng=np.random.default_rng(0))
+        batch = next(iter(DataLoader(ds, batch_size=8)))
+        assert "features" in batch
+        assert "missing" not in batch
+        assert set(batch.keys()) == {"features", "label"}
+        assert batch.size == 8
+
+
+class TestSyntheticTabular:
+    def test_classification_shapes_and_labels(self):
+        ds = make_classification(num_samples=40, num_features=6, num_classes=5,
+                                 rng=np.random.default_rng(0))
+        labels = {int(ds[i]["label"]) for i in range(len(ds))}
+        assert labels <= set(range(5))
+        assert ds[0]["features"].shape == (6,)
+        assert ds[0]["features"].dtype == np.float32
+
+    def test_classification_is_learnable_structure(self):
+        # With large separation and tiny noise, nearest-centroid is near-perfect,
+        # so the generated clusters really carry label signal.
+        rng = np.random.default_rng(0)
+        ds = make_classification(num_samples=200, num_features=8, num_classes=4,
+                                 class_separation=5.0, noise=0.1, rng=rng)
+        features = np.stack([ds[i]["features"] for i in range(len(ds))])
+        labels = np.array([ds[i]["label"] for i in range(len(ds))])
+        centroids = np.stack([features[labels == c].mean(axis=0) for c in range(4)])
+        predicted = np.argmin(
+            ((features[:, None, :] - centroids[None]) ** 2).sum(axis=-1), axis=1
+        )
+        assert (predicted == labels).mean() > 0.95
+
+    def test_regression_shapes(self):
+        ds = make_regression(num_samples=30, num_features=4, rng=np.random.default_rng(0))
+        assert ds[0]["target"].shape == (1,)
+
+    def test_xor_labels(self):
+        ds = make_xor(num_samples=64, rng=np.random.default_rng(0))
+        labels = {int(ds[i]["label"]) for i in range(len(ds))}
+        assert labels == {0, 1}
+
+    def test_reproducible_with_same_rng_seed(self):
+        a = make_classification(num_samples=10, rng=np.random.default_rng(5))
+        b = make_classification(num_samples=10, rng=np.random.default_rng(5))
+        assert np.array_equal(a[0]["features"], b[0]["features"])
+
+
+class TestSyntheticSpans:
+    def test_fields_and_shapes(self):
+        ds = SyntheticSpanDataset(num_samples=10, seq_len=32, vocab_size=50,
+                                  rng=np.random.default_rng(0))
+        example = ds[0]
+        assert example["input_ids"].shape == (32,)
+        assert example["attention_mask"].shape == (32,)
+        assert 0 <= example["start_position"] <= example["end_position"] < 32
+
+    def test_special_token_layout(self):
+        ds = SyntheticSpanDataset(num_samples=5, seq_len=24, vocab_size=40,
+                                  rng=np.random.default_rng(1))
+        for i in range(len(ds)):
+            tokens = ds[i]["input_ids"]
+            assert tokens[0] == CLS_TOKEN
+            assert tokens[-1] == SEP_TOKEN
+            assert (tokens == SEP_TOKEN).sum() >= 2
+
+    def test_answer_span_holds_query_token(self):
+        ds = SyntheticSpanDataset(num_samples=20, seq_len=40, vocab_size=64,
+                                  rng=np.random.default_rng(2))
+        for i in range(len(ds)):
+            example = ds[i]
+            tokens = example["input_ids"]
+            query = tokens[1]
+            span = tokens[int(example["start_position"]):int(example["end_position"]) + 1]
+            assert np.all(span == query)
+            # The query token appears in the context only inside the answer span.
+            context_positions = np.where(tokens == query)[0]
+            context_positions = context_positions[context_positions >= int(example["start_position"]) - 0]
+            assert len(span) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpanDataset(vocab_size=3)
+        with pytest.raises(ValueError):
+            SyntheticSpanDataset(seq_len=4)
+
+    def test_factory_helper(self):
+        ds = make_span_extraction(num_samples=4, seq_len=16, vocab_size=32,
+                                  rng=np.random.default_rng(0))
+        assert len(ds) == 4
+
+
+class TestPartitioning:
+    def test_partitions_cover_dataset_disjointly(self):
+        ds = ArrayDataset(x=np.arange(23))
+        parts = partition_dataset(ds, 4, shuffle=True, seed=0)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == 23
+        assert max(sizes) - min(sizes) <= 1
+        seen = sorted(int(p[i]["x"]) for p in parts for i in range(len(p)))
+        assert seen == list(range(23))
+
+    def test_no_shuffle_keeps_contiguous_blocks(self):
+        ds = ArrayDataset(x=np.arange(10))
+        parts = partition_dataset(ds, 2, shuffle=False)
+        assert [parts[0][i]["x"] for i in range(5)] == list(range(5))
+
+    def test_validation(self):
+        ds = ArrayDataset(x=np.arange(3))
+        with pytest.raises(ValueError):
+            partition_dataset(ds, 0)
+        with pytest.raises(ValueError):
+            partition_dataset(ds, 5)

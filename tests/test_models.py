@@ -1,0 +1,193 @@
+"""Tests for the model zoo: feedforward network, BERT, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.exceptions import ConfigurationError
+from repro.models import (
+    BertConfig,
+    BertForSpanPrediction,
+    FeedForwardConfig,
+    FeedForwardNetwork,
+    available_models,
+    create_model,
+    register_model,
+)
+
+
+class TestFeedForwardConfig:
+    def test_paper_preset_has_roughly_1_2m_parameters(self):
+        count = FeedForwardConfig.paper_1_2m().param_count()
+        assert 1.1e6 < count < 1.3e6
+
+    def test_layer_dims_chain(self):
+        config = FeedForwardConfig(input_dim=8, hidden_dims=(16, 4), num_classes=2)
+        assert config.layer_dims == [(8, 16), (16, 4), (4, 2)]
+
+    def test_param_count_matches_instantiated_model(self):
+        config = FeedForwardConfig.tiny()
+        model = FeedForwardNetwork(config, seed=0)
+        assert model.num_parameters() == config.param_count()
+
+    def test_profile_block_count(self):
+        config = FeedForwardConfig(input_dim=8, hidden_dims=(16, 4), num_classes=2)
+        assert len(config.profile()) == 3
+
+    def test_profile_total_params_matches(self):
+        config = FeedForwardConfig.paper_1_2m()
+        assert config.profile().total_params == config.param_count()
+
+
+class TestFeedForwardNetwork:
+    def test_forward_matches_block_execution(self, tiny_mlp, classification_batch):
+        whole = tiny_mlp.forward(classification_batch)
+        state = None
+        for index in range(tiny_mlp.num_blocks()):
+            state = tiny_mlp.run_block(index, state, classification_batch)
+        assert np.allclose(whole.data, state.data)
+
+    def test_same_seed_same_weights(self, tiny_mlp_config):
+        a = FeedForwardNetwork(tiny_mlp_config, seed=9)
+        b = FeedForwardNetwork(tiny_mlp_config, seed=9)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self, tiny_mlp_config):
+        a = FeedForwardNetwork(tiny_mlp_config, seed=1)
+        b = FeedForwardNetwork(tiny_mlp_config, seed=2)
+        assert not np.array_equal(a.blocks[0].linear.weight.data, b.blocks[0].linear.weight.data)
+
+    def test_loss_and_predictions(self, tiny_mlp, classification_batch):
+        loss = tiny_mlp.loss_on_batch(classification_batch)
+        assert np.isfinite(loss.item())
+        outputs = tiny_mlp.forward(classification_batch)
+        predictions = tiny_mlp.predict(outputs)
+        assert predictions.shape == (classification_batch.size,)
+        accuracy = tiny_mlp.accuracy_on_batch(classification_batch)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_block_parameters_partition_all_parameters(self, tiny_mlp):
+        total = sum(len(tiny_mlp.block_parameters(i)) for i in range(tiny_mlp.num_blocks()))
+        assert total == len(list(tiny_mlp.parameters()))
+
+    def test_learns_separable_data(self, classification_data):
+        from repro.optim import Adam
+
+        model = FeedForwardNetwork(FeedForwardConfig.tiny(), seed=0)
+        loader = DataLoader(classification_data, batch_size=16, shuffle=True, seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        first_loss, last_loss = None, None
+        for epoch in range(5):
+            for batch in loader:
+                loss = model.loss_on_batch(batch)
+                model.zero_grad()
+                loss.backward()
+                optimizer.step()
+                if first_loss is None:
+                    first_loss = loss.item()
+                last_loss = loss.item()
+        assert last_loss < 0.5 * first_loss
+
+
+class TestBertConfig:
+    def test_bert_large_parameter_count(self):
+        # BERT-Large is ~340M parameters; the analytical count should land close.
+        count = BertConfig.bert_large().param_count()
+        assert 320e6 < count < 350e6
+
+    def test_bert_base_parameter_count(self):
+        count = BertConfig.bert_base().param_count()
+        assert 100e6 < count < 120e6
+
+    def test_block_costs_structure(self):
+        config = BertConfig.bert_large()
+        costs = config.block_costs(seq_len=384)
+        assert len(costs) == config.num_layers + 2
+        assert costs[0].name.endswith("embeddings")
+        assert costs[-1].name.endswith("span_head")
+
+    def test_profile_seq_len_changes_activations_not_params(self):
+        config = BertConfig.bert_base()
+        short = config.profile(seq_len=128)
+        long = config.profile(seq_len=512)
+        assert short.total_params == long.total_params
+        assert short.blocks[1].activation_bytes_per_sample < long.blocks[1].activation_bytes_per_sample
+
+    def test_tiny_preset_is_instantiable(self):
+        config = BertConfig.tiny()
+        model = BertForSpanPrediction(config, seed=0)
+        assert model.num_parameters() < 1e6
+
+
+class TestBertForSpanPrediction:
+    def test_forward_output_structure(self, tiny_bert_config, span_batch):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        start_logits, end_logits = model.forward(span_batch)
+        assert start_logits.shape == (span_batch.size, tiny_bert_config.max_seq_len)
+        assert end_logits.shape == (span_batch.size, tiny_bert_config.max_seq_len)
+
+    def test_block_execution_matches_forward(self, tiny_bert_config, span_batch):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        model.eval()
+        whole = model.forward(span_batch)
+        state = None
+        for index in range(model.num_blocks()):
+            state = model.run_block(index, state, span_batch)
+        assert np.allclose(whole[0].data, state[0].data, atol=1e-6)
+        assert np.allclose(whole[1].data, state[1].data, atol=1e-6)
+
+    def test_num_blocks(self, tiny_bert_config):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        assert model.num_blocks() == tiny_bert_config.num_layers + 2
+
+    def test_loss_and_span_accuracy(self, tiny_bert_config, span_batch):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        outputs = model.forward(span_batch)
+        loss = model.compute_loss(outputs, span_batch)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+        accuracy = model.span_accuracy(outputs, span_batch)
+        assert 0.0 <= accuracy <= 1.0
+        predictions = model.predict(outputs)
+        assert predictions.shape == (span_batch.size, 2)
+
+    def test_gradients_reach_embeddings_and_head(self, tiny_bert_config, span_batch):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        loss = model.loss_on_batch(span_batch)
+        loss.backward()
+        assert model.embeddings.token_embeddings.weight.grad is not None
+        assert model.span_head.projection.weight.grad is not None
+
+    def test_profile_matches_real_parameter_count_closely(self, tiny_bert_config):
+        model = BertForSpanPrediction(tiny_bert_config, seed=0)
+        profile = model.profile()
+        # The analytic profile counts the full position table; the real model
+        # does too, so the counts must agree exactly.
+        assert profile.total_params == model.num_parameters()
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        names = available_models()
+        assert "mlp-1.2m" in names
+        assert "bert-tiny" in names
+
+    def test_create_model(self):
+        model = create_model("mlp-tiny", seed=1)
+        assert isinstance(model, FeedForwardNetwork)
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            create_model("resnet-9000")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_model("mlp-tiny", lambda: None)
+
+    def test_register_decorator(self):
+        @register_model("unit-test-model")
+        def _factory(seed=0):
+            return FeedForwardNetwork(FeedForwardConfig.tiny(), seed=seed)
+
+        assert "unit-test-model" in available_models()
+        assert isinstance(create_model("unit-test-model"), FeedForwardNetwork)

@@ -1,0 +1,107 @@
+"""Tests for multi-head attention and transformer encoder blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
+
+
+def random_hidden(batch=2, seq=5, hidden=8, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).normal(size=(batch, seq, hidden)).astype(np.float32),
+        requires_grad=True,
+    )
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape_preserved(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        out = attn(random_hidden())
+        assert out.shape == (2, 5, 8)
+
+    def test_hidden_size_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_gradients_reach_all_projections(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        out = attn(random_hidden())
+        out.sum().backward()
+        for name, param in attn.named_parameters():
+            assert param.grad is not None, name
+            assert np.isfinite(param.grad).all(), name
+
+    def test_attention_mask_blocks_padding_positions(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        x = random_hidden(batch=1, seq=4)
+        mask_full = np.array([[True, True, True, True]])
+        mask_padded = np.array([[True, True, False, False]])
+        out_full = attn(x, attention_mask=mask_full)
+        out_padded = attn(Tensor(x.data), attention_mask=mask_padded)
+        # Masking the last two keys must change the attended representation.
+        assert not np.allclose(out_full.data, out_padded.data, atol=1e-6)
+
+    def test_masked_positions_do_not_influence_valid_outputs(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        base = np.random.default_rng(1).normal(size=(1, 4, 8)).astype(np.float32)
+        modified = base.copy()
+        modified[0, 3, :] += 100.0  # perturb a masked (padding) position
+        mask = np.array([[True, True, True, False]])
+        out_base = attn(Tensor(base), attention_mask=mask)
+        out_modified = attn(Tensor(modified), attention_mask=mask)
+        assert np.allclose(out_base.data[0, :3], out_modified.data[0, :3], atol=1e-4)
+
+    def test_bad_mask_shape_raises(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0)
+        with pytest.raises(ValueError):
+            attn(random_hidden(), attention_mask=np.ones((2, 9), dtype=bool))
+
+    def test_deterministic_given_seed(self):
+        a = MultiHeadSelfAttention(8, 4, dropout=0.0, rng=np.random.default_rng(3))
+        b = MultiHeadSelfAttention(8, 4, dropout=0.0, rng=np.random.default_rng(3))
+        x = random_hidden(seed=2)
+        assert np.allclose(a(x).data, b(Tensor(x.data)).data)
+
+
+class TestTransformerEncoderLayer:
+    def test_shape_preserved_and_grads_flow(self):
+        layer = TransformerEncoderLayer(8, 2, 16, dropout=0.0, rng=np.random.default_rng(0))
+        x = random_hidden()
+        out = layer(x)
+        assert out.shape == x.shape
+        out.sum().backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+    def test_parameter_count_formula(self):
+        hidden, heads, inter = 8, 2, 16
+        layer = TransformerEncoderLayer(hidden, heads, inter, rng=np.random.default_rng(0))
+        attention = 4 * (hidden * hidden + hidden)
+        ffn = hidden * inter + inter + inter * hidden + hidden
+        norms = 2 * (2 * hidden)
+        assert layer.num_parameters() == attention + ffn + norms
+
+    def test_mask_passed_through(self):
+        layer = TransformerEncoderLayer(8, 2, 16, dropout=0.0, rng=np.random.default_rng(0))
+        x = random_hidden(batch=1, seq=4)
+        mask = np.array([[True, True, True, False]])
+        out = layer(x, attention_mask=mask)
+        assert out.shape == (1, 4, 8)
+
+    def test_output_is_layer_normalised(self):
+        layer = TransformerEncoderLayer(16, 4, 32, dropout=0.0, rng=np.random.default_rng(0))
+        out = layer(random_hidden(hidden=16))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+
+
+class TestTransformerEncoder:
+    def test_stacks_requested_number_of_layers(self):
+        encoder = TransformerEncoder(3, 8, 2, 16, dropout=0.0, rng=np.random.default_rng(0))
+        assert len(encoder.layers) == 3
+        out = encoder(random_hidden())
+        assert out.shape == (2, 5, 8)
+
+    def test_zero_layers_is_identity(self):
+        encoder = TransformerEncoder(0, 8, 2, 16)
+        x = random_hidden()
+        assert np.array_equal(encoder(x).data, x.data)

@@ -1,0 +1,212 @@
+"""Tests for individual layers: Linear, LayerNorm, Dropout, Embedding, activations, losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+from repro.nn.activations import get_activation
+
+
+class TestLinear:
+    def test_output_shape_and_affine(self):
+        layer = nn.Linear(3, 5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        out = layer(x)
+        assert out.shape == (2, 5)
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out.data, expected, atol=1e-6)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 4, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(4, 3)).astype(np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.weight.grad.shape == (2, 3)
+        assert layer.bias.grad is not None and np.allclose(layer.bias.grad, 4.0)
+
+    def test_3d_input_applies_to_last_dim(self):
+        layer = nn.Linear(8, 4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((2, 5, 8), dtype=np.float32)))
+        assert out.shape == (2, 5, 4)
+
+    def test_repr(self):
+        assert "Linear(in_features=3, out_features=5" in repr(nn.Linear(3, 5))
+
+    def test_deterministic_given_rng(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(5))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(5))
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+
+class TestLayerNorm:
+    def test_normalises_last_dimension(self):
+        layer = nn.LayerNorm(6)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 6)).astype(np.float32))
+        out = layer(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_used(self):
+        layer = nn.LayerNorm(4)
+        layer.weight.data = np.full(4, 2.0, dtype=np.float32)
+        layer.bias.data = np.full(4, 1.0, dtype=np.float32)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)).astype(np.float32))
+        out = layer(x)
+        assert np.allclose(out.data.mean(axis=-1), 1.0, atol=1e-5)
+
+    def test_gradient_correctness(self):
+        layer = nn.LayerNorm(5)
+
+        def f(x):
+            return (layer(x) ** 2).sum()
+
+        check_gradients(f, [Tensor(np.random.default_rng(2).normal(size=(3, 5)), requires_grad=True)])
+
+    def test_works_on_3d(self):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(2, 4, 8)).astype(np.float32)))
+        assert out.shape == (2, 4, 8)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((10, 10), dtype=np.float32))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_zero_probability_is_identity_in_training(self):
+        layer = nn.Dropout(0.0)
+        x = Tensor(np.ones((5, 5), dtype=np.float32))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = layer(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_expected_value_preserved(self):
+        layer = nn.Dropout(0.3, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        assert layer(x).data.mean() == pytest.approx(1.0, abs=0.02)
+
+
+class TestEmbedding:
+    def test_lookup_matches_table(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        ids = np.array([[1, 2], [3, 9]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data, emb.weight.data[ids])
+
+    def test_out_of_range_ids_raise(self):
+        emb = nn.Embedding(5, 3)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter(self):
+        emb = nn.Embedding(6, 3, rng=np.random.default_rng(0))
+        out = emb(np.array([0, 0, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[1], 0.0)
+
+    def test_accepts_tensor_input(self):
+        emb = nn.Embedding(4, 2)
+        out = emb(Tensor(np.array([0, 1, 2])))
+        assert out.shape == (3, 2)
+
+
+class TestActivationsAndFactory:
+    @pytest.mark.parametrize("name,cls", [("relu", nn.ReLU), ("gelu", nn.GELU),
+                                          ("tanh", nn.Tanh), ("sigmoid", nn.Sigmoid)])
+    def test_factory_returns_expected_type(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")
+
+    def test_relu_module_forward(self):
+        out = nn.ReLU()(Tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_activation_reprs(self):
+        assert repr(nn.GELU()) == "GELU()"
+        assert repr(nn.Tanh()) == "Tanh()"
+
+
+class TestLossModules:
+    def test_cross_entropy_2d(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]], dtype=np.float32), requires_grad=True)
+        loss = loss_fn(logits, np.array([0, 1]))
+        assert loss.item() < 0.01
+
+    def test_cross_entropy_flattens_3d_logits(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(np.zeros((2, 3, 5), dtype=np.float32), requires_grad=True)
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss = loss_fn(logits, targets)
+        assert loss.item() == pytest.approx(np.log(5), rel=1e-4)
+
+    def test_cross_entropy_accepts_tensor_targets(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        loss = loss_fn(logits, Tensor(np.array([1, 2])))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-4)
+
+    def test_mse_module(self):
+        loss = nn.MSELoss()(Tensor([[1.0, 1.0]]), np.zeros((1, 2)))
+        assert loss.item() == pytest.approx(1.0)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        from repro.nn import init
+        values = init.xavier_uniform((100, 50), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 150)
+        assert values.min() >= -limit and values.max() <= limit
+
+    def test_xavier_normal_std(self):
+        from repro.nn import init
+        values = init.xavier_normal((200, 200), np.random.default_rng(0))
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_kaiming_uniform_shape_and_dtype(self):
+        from repro.nn import init
+        values = init.kaiming_uniform((8, 4), np.random.default_rng(0))
+        assert values.shape == (8, 4) and values.dtype == np.float32
+
+    def test_zeros_ones(self):
+        from repro.nn import init
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)
+
+    def test_normal_std_parameter(self):
+        from repro.nn import init
+        values = init.normal((500, 100), np.random.default_rng(0), std=0.02)
+        assert values.std() == pytest.approx(0.02, rel=0.05)
+
+    def test_fans_requires_shape(self):
+        from repro.nn import init
+        with pytest.raises(ValueError):
+            init.xavier_uniform((), np.random.default_rng(0))

@@ -1,0 +1,143 @@
+"""Tests for the Module system, Parameter registration, and containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "fc2.weight" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_children_and_named_modules(self):
+        net = TinyNet()
+        assert len(list(net.children())) == 2
+        module_names = dict(net.named_modules())
+        assert "fc1" in module_names and "fc2" in module_names
+
+    def test_register_module_explicit(self):
+        net = nn.Module()
+        net.register_module("layer0", nn.Linear(2, 2))
+        assert "layer0" in dict(net.named_modules())
+
+    def test_setattr_non_module_value(self):
+        net = TinyNet()
+        net.some_flag = True
+        assert net.some_flag is True
+        assert "some_flag" not in dict(net.named_parameters())
+
+
+class TestStateDict:
+    def test_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.fc1.weight.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        assert np.allclose(net1.fc1.weight.data, net2.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.allclose(net.fc1.weight.data, 99.0)
+
+    def test_load_strict_rejects_missing_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("fc1.bias")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_non_strict_ignores_extras(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["unknown.weight"] = np.zeros((1,))
+        net.load_state_dict(state, strict=False)
+
+    def test_load_rejects_shape_mismatch(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state, strict=False)
+
+
+class TestTrainEvalAndGrad:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(4, 4), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for _, m in net.named_modules())
+        net.train()
+        assert all(m.training for _, m in net.named_modules())
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4), dtype=np.float32))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_repr_nested(self):
+        text = repr(TinyNet())
+        assert "TinyNet" in text and "Linear" in text
+
+
+class TestSequential:
+    def test_forward_chains_layers(self):
+        model = nn.Sequential(nn.Linear(3, 5, rng=np.random.default_rng(0)), nn.ReLU(),
+                              nn.Linear(5, 2, rng=np.random.default_rng(1)))
+        out = model(Tensor(np.ones((4, 3), dtype=np.float32)))
+        assert out.shape == (4, 2)
+
+    def test_len_iter_getitem(self):
+        model = nn.Sequential(nn.Linear(3, 3), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_slice_returns_sequential(self):
+        model = nn.Sequential(nn.Linear(3, 3), nn.ReLU(), nn.Linear(3, 2))
+        head = model[:2]
+        assert isinstance(head, nn.Sequential)
+        assert len(head) == 2
+
+    def test_append(self):
+        model = nn.Sequential()
+        model.append(nn.Linear(2, 2)).append(nn.ReLU())
+        assert len(model) == 2
+        assert model.num_parameters() > 0
+
+
+class TestModuleList:
+    def test_registration_and_indexing(self):
+        layers = nn.ModuleList(nn.Linear(2, 2) for _ in range(3))
+        assert len(layers) == 3
+        assert isinstance(layers[0], nn.Linear)
+        parent = nn.Module()
+        parent.layers = layers
+        assert len(list(parent.parameters())) == 6
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([nn.Linear(2, 2)])(None)

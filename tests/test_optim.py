@@ -1,0 +1,173 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, Adam, AdamW, ConstantLR, LinearWarmupDecay, StepDecay
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float32))
+
+
+def step_quadratic(optimizer, param, steps=50):
+    """Minimise f(x) = x^2 with the given optimizer."""
+    for _ in range(steps):
+        loss = (Tensor(param.data) * 0).sum()  # placeholder, grads set manually below
+        param.grad = 2.0 * param.data
+        optimizer.step()
+        optimizer.zero_grad()
+    return float(param.data[0])
+
+
+class TestOptimizerBase:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = quadratic_param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad set: should be a no-op
+        assert param.data[0] == pytest.approx(5.0)
+
+    def test_state_dict_reports_lr_and_steps(self):
+        optimizer = SGD([quadratic_param()], lr=0.1)
+        optimizer.step_count = 3
+        state = optimizer.state_dict()
+        assert state["lr"] == pytest.approx(0.1)
+        assert state["step_count"] == 3
+
+    def test_repr(self):
+        assert "SGD" in repr(SGD([quadratic_param()], lr=0.1))
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        param = quadratic_param()
+        final = step_quadratic(SGD([param], lr=0.1), param)
+        assert abs(final) < 1e-3
+
+    def test_momentum_accelerates(self):
+        slow_param, fast_param = quadratic_param(), quadratic_param()
+        slow = SGD([slow_param], lr=0.02)
+        fast = SGD([fast_param], lr=0.02, momentum=0.9)
+        step_quadratic(slow, slow_param, steps=20)
+        step_quadratic(fast, fast_param, steps=20)
+        assert abs(fast_param.data[0]) < abs(slow_param.data[0])
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.5)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = quadratic_param(1.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros_like(param.data)
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_state_bytes_reporting(self):
+        assert SGD([quadratic_param()], lr=0.1).state_bytes_per_parameter == 0
+        assert SGD([quadratic_param()], lr=0.1, momentum=0.9).state_bytes_per_parameter == 4
+
+
+class TestAdam:
+    def test_adam_converges_on_quadratic(self):
+        param = quadratic_param()
+        final = step_quadratic(Adam([param], lr=0.3), param, steps=200)
+        assert abs(final) < 0.05
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_first_step_magnitude_close_to_lr(self):
+        # With bias correction the first Adam update has magnitude ~lr.
+        param = quadratic_param(1.0)
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([4.0], dtype=np.float32)
+        optimizer.step()
+        assert 1.0 - param.data[0] == pytest.approx(0.1, rel=1e-3)
+
+    def test_adam_state_bytes(self):
+        assert Adam([quadratic_param()], lr=0.1).state_bytes_per_parameter == 8
+
+    def test_adamw_decay_is_decoupled(self):
+        # With zero gradient AdamW still shrinks weights, plain Adam does not.
+        adam_param, adamw_param = quadratic_param(1.0), quadratic_param(1.0)
+        adam = Adam([adam_param], lr=0.1, weight_decay=0.1)
+        adamw = AdamW([adamw_param], lr=0.1, weight_decay=0.1)
+        adam_param.grad = np.zeros_like(adam_param.data)
+        adamw_param.grad = np.zeros_like(adamw_param.data)
+        adam.step()
+        adamw.step()
+        assert adamw_param.data[0] < 1.0
+        # Coupled decay with zero grad still moves via the moment estimate,
+        # but far less than the decoupled update in one step.
+        assert abs(1.0 - adamw_param.data[0]) > 0.0
+
+    def test_trains_real_layer(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        x = rng.normal(size=(64, 4)).astype(np.float32)
+        true_w = np.array([[1.0, -2.0, 0.5, 3.0]], dtype=np.float32)
+        y = x @ true_w.T
+        losses = []
+        for _ in range(150):
+            out = layer(Tensor(x))
+            loss = ((out - Tensor(y)) ** 2).mean()
+            layer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.05 * losses[0]
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([quadratic_param()], lr=lr)
+
+    def test_constant(self):
+        scheduler = ConstantLR(self._optimizer(0.5))
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.5)
+
+    def test_linear_warmup_then_decay(self):
+        optimizer = self._optimizer(1.0)
+        scheduler = LinearWarmupDecay(optimizer, warmup_steps=5, total_steps=15)
+        warmup = [scheduler.step() for _ in range(5)]
+        assert warmup == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+        rest = [scheduler.step() for _ in range(10)]
+        assert rest[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(rest, rest[1:]))
+
+    def test_linear_warmup_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(self._optimizer(), warmup_steps=20, total_steps=10)
+        with pytest.raises(ValueError):
+            LinearWarmupDecay(self._optimizer(), warmup_steps=0, total_steps=0)
+
+    def test_step_decay(self):
+        scheduler = StepDecay(self._optimizer(1.0), step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(self._optimizer(), step_size=0)
+
+    def test_scheduler_updates_optimizer_lr(self):
+        optimizer = self._optimizer(1.0)
+        scheduler = StepDecay(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.5)

@@ -1,0 +1,107 @@
+"""Tests for critical-path ranking and its use by the shard-parallel scheduler."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.models import FeedForwardConfig
+from repro.scheduler import TrainingJob, build_task_graph, compute_upward_ranks
+from repro.scheduler.task import ShardTask, TaskKind, task_id_for
+from repro.sharding import make_plan
+
+
+def small_job(num_shards=3, batches=2, model_id="mlp"):
+    profile = FeedForwardConfig.paper_1_2m().profile()
+    plan = make_plan(model_id, profile, batch_size=8, num_shards=num_shards)
+    return TrainingJob(model_id=model_id, plan=plan, num_epochs=1,
+                       batches_per_epoch=batches, samples_per_batch=8)
+
+
+class TestComputeUpwardRanks:
+    def test_rank_includes_own_flops(self):
+        task = ShardTask(task_id="only", model_id="m", shard_index=0, kind=TaskKind.FORWARD,
+                         epoch=0, batch_index=0, flops=5.0, input_bytes=0, output_bytes=0,
+                         activation_bytes=0)
+        assert compute_upward_ranks([task]) == {"only": 5.0}
+
+    def test_chain_ranks_accumulate(self):
+        a = ShardTask("a", "m", 0, TaskKind.FORWARD, 0, 0, 1.0, 0, 0, 0)
+        b = ShardTask("b", "m", 1, TaskKind.FORWARD, 0, 0, 2.0, 0, 0, 0, deps=["a"])
+        c = ShardTask("c", "m", 1, TaskKind.BACKWARD, 0, 0, 4.0, 0, 0, 0, deps=["b"])
+        ranks = compute_upward_ranks([a, b, c])
+        assert ranks["c"] == pytest.approx(4.0)
+        assert ranks["b"] == pytest.approx(6.0)
+        assert ranks["a"] == pytest.approx(7.0)
+
+    def test_branching_takes_longest_path(self):
+        root = ShardTask("root", "m", 0, TaskKind.FORWARD, 0, 0, 1.0, 0, 0, 0)
+        short = ShardTask("short", "m", 1, TaskKind.FORWARD, 0, 0, 1.0, 0, 0, 0, deps=["root"])
+        long = ShardTask("long", "m", 1, TaskKind.BACKWARD, 0, 0, 10.0, 0, 0, 0, deps=["root"])
+        ranks = compute_upward_ranks([root, short, long])
+        assert ranks["root"] == pytest.approx(11.0)
+
+    def test_cycle_detected(self):
+        a = ShardTask("a", "m", 0, TaskKind.FORWARD, 0, 0, 1.0, 0, 0, 0, deps=["b"])
+        b = ShardTask("b", "m", 1, TaskKind.FORWARD, 0, 0, 1.0, 0, 0, 0, deps=["a"])
+        with pytest.raises(SchedulingError):
+            compute_upward_ranks([a, b])
+
+    def test_external_dependencies_ignored(self):
+        task = ShardTask("a", "m", 0, TaskKind.FORWARD, 0, 0, 3.0, 0, 0, 0, deps=["not-here"])
+        assert compute_upward_ranks([task])["a"] == pytest.approx(3.0)
+
+    def test_training_graph_ranks_decrease_along_the_pipeline(self):
+        job = small_job(num_shards=3, batches=1)
+        tasks = build_task_graph(job)
+        ranks = compute_upward_ranks(tasks)
+        fwd0 = ranks[task_id_for("mlp", 0, 0, 0, TaskKind.FORWARD)]
+        fwd1 = ranks[task_id_for("mlp", 0, 0, 1, TaskKind.FORWARD)]
+        bwd0 = ranks[task_id_for("mlp", 0, 0, 0, TaskKind.BACKWARD)]
+        upd0 = ranks[task_id_for("mlp", 0, 0, 0, TaskKind.UPDATE)]
+        assert fwd0 > fwd1 > bwd0 > upd0
+
+    def test_earlier_batches_rank_higher(self):
+        job = small_job(num_shards=2, batches=3)
+        tasks = build_task_graph(job)
+        ranks = compute_upward_ranks(tasks)
+        batch0 = ranks[task_id_for("mlp", 0, 0, 0, TaskKind.FORWARD)]
+        batch2 = ranks[task_id_for("mlp", 0, 2, 0, TaskKind.FORWARD)]
+        assert batch0 > batch2
+
+    def test_total_rank_equals_total_flops_for_a_pure_chain(self):
+        job = small_job(num_shards=1, batches=1)
+        tasks = build_task_graph(job)
+        ranks = compute_upward_ranks(tasks)
+        first = task_id_for("mlp", 0, 0, 0, TaskKind.FORWARD)
+        assert ranks[first] == pytest.approx(sum(t.flops for t in tasks))
+
+
+class TestCriticalPathPolicy:
+    def test_policy_prefers_highest_priority(self):
+        from repro.cluster import SimTask
+        from repro.scheduler import critical_path_policy
+
+        ready = [
+            SimTask("low", "gpu0", tags={"priority": 1.0, "epoch": 0, "batch": 0}),
+            SimTask("high", "gpu0", tags={"priority": 9.0, "epoch": 0, "batch": 5}),
+        ]
+        assert critical_path_policy("gpu0", ready).task_id == "high"
+
+    def test_ties_break_towards_older_batches(self):
+        from repro.cluster import SimTask
+        from repro.scheduler import critical_path_policy
+
+        ready = [
+            SimTask("new", "gpu0", tags={"priority": 2.0, "epoch": 0, "batch": 4}),
+            SimTask("old", "gpu0", tags={"priority": 2.0, "epoch": 0, "batch": 1}),
+        ]
+        assert critical_path_policy("gpu0", ready).task_id == "old"
+
+    def test_missing_priority_treated_as_zero(self):
+        from repro.cluster import SimTask
+        from repro.scheduler import critical_path_policy
+
+        ready = [
+            SimTask("unranked", "gpu0", tags={}),
+            SimTask("ranked", "gpu0", tags={"priority": 0.5}),
+        ]
+        assert critical_path_policy("gpu0", ready).task_id == "ranked"

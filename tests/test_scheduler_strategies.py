@@ -1,0 +1,290 @@
+"""Tests for the scheduling strategies (the paper's core comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DeviceSpec, Device
+from repro.exceptions import SchedulingError
+from repro.models import BertConfig, FeedForwardConfig
+from repro.profiling import ModelProfile, linear_cost
+from repro.scheduler import (
+    HybridShardDataParallelStrategy,
+    ModelParallelStrategy,
+    ShardParallelStrategy,
+    SingleDeviceStrategy,
+    TaskParallelStrategy,
+    TrainingJob,
+)
+from repro.scheduler.task import TaskKind
+from repro.sharding import ShardingPlan, make_plan
+
+GIB = 1024 ** 3
+
+
+def uniform_profile(num_blocks=2, width=8192):
+    """Blocks of identical cost, convenient for schematic experiments.
+
+    The default width keeps per-shard compute well above the PCIe transfer
+    cost, matching the communication-free schematic of the paper's Figure 2.
+    """
+    return ModelProfile(
+        model_name="uniform",
+        blocks=[linear_cost(f"b{i}", width, width) for i in range(num_blocks)],
+    )
+
+
+def schematic_jobs(num_models=3, num_shards=2, batches=1):
+    """The Figure 2 setting: identical small models with uniform shards."""
+    jobs = []
+    for index in range(num_models):
+        profile = uniform_profile(num_blocks=num_shards)
+        plan = ShardingPlan(f"model-{index}", profile,
+                            [(i, i + 1) for i in range(num_shards)], batch_size=32)
+        jobs.append(TrainingJob(model_id=f"model-{index}", plan=plan,
+                                num_epochs=1, batches_per_epoch=batches, samples_per_batch=32))
+    return jobs
+
+
+def bert_jobs(num_models, cluster_batch=16, batches=2, num_shards=4):
+    profile = BertConfig.bert_large().profile(seq_len=384)
+    jobs = []
+    for index in range(num_models):
+        plan = make_plan(f"bert-{index}", profile, batch_size=cluster_batch, num_shards=num_shards)
+        jobs.append(TrainingJob(model_id=f"bert-{index}", plan=plan, num_epochs=1,
+                                batches_per_epoch=batches, samples_per_batch=cluster_batch))
+    return jobs
+
+
+class TestSingleDeviceStrategy:
+    def test_all_tasks_on_one_device(self, four_gpu_cluster):
+        result = SingleDeviceStrategy().schedule(schematic_jobs(2), four_gpu_cluster)
+        assert {record.device for record in result.trace.records} == {"gpu0"}
+
+    def test_respects_explicit_device(self, four_gpu_cluster):
+        result = SingleDeviceStrategy(device_name="gpu2").schedule(
+            schematic_jobs(1), four_gpu_cluster
+        )
+        assert {record.device for record in result.trace.records} == {"gpu2"}
+
+    def test_models_are_serialised(self, four_gpu_cluster):
+        result = SingleDeviceStrategy().schedule(schematic_jobs(2), four_gpu_cluster)
+        first = [r for r in result.trace.records if r.tags["model"] == "model-0"]
+        second = [r for r in result.trace.records if r.tags["model"] == "model-1"]
+        assert max(r.end for r in first) <= min(r.start for r in second) + 1e-9
+
+    def test_rejects_larger_than_memory_model(self, four_gpu_cluster):
+        with pytest.raises(SchedulingError):
+            SingleDeviceStrategy().schedule(bert_jobs(1, cluster_batch=32), four_gpu_cluster)
+
+    def test_rejects_empty_job_list(self, four_gpu_cluster):
+        with pytest.raises(SchedulingError):
+            SingleDeviceStrategy().schedule([], four_gpu_cluster)
+
+
+class TestTaskParallelStrategy:
+    def test_models_spread_across_devices(self, two_gpu_cluster):
+        result = TaskParallelStrategy().schedule(schematic_jobs(2), two_gpu_cluster)
+        devices_used = {record.tags["model"]: record.device for record in result.trace.records}
+        assert devices_used["model-0"] != devices_used["model-1"]
+
+    def test_queueing_when_more_models_than_devices(self, two_gpu_cluster):
+        result = TaskParallelStrategy().schedule(schematic_jobs(4), two_gpu_cluster)
+        gpu0_models = {r.tags["model"] for r in result.trace.records if r.device == "gpu0"}
+        assert gpu0_models == {"model-0", "model-2"}
+
+    def test_infeasible_for_bert_large_at_paper_batch(self, four_gpu_cluster):
+        """Task parallelism cannot train a larger-than-memory model — the paper's motivation."""
+        with pytest.raises(SchedulingError):
+            TaskParallelStrategy().schedule(bert_jobs(2, cluster_batch=32), four_gpu_cluster)
+
+    def test_each_model_runs_entirely_on_one_device(self, two_gpu_cluster):
+        result = TaskParallelStrategy().schedule(schematic_jobs(3), two_gpu_cluster)
+        for model_id in ("model-0", "model-1", "model-2"):
+            devices = {r.device for r in result.trace.records if r.tags["model"] == model_id}
+            assert len(devices) == 1
+
+
+class TestModelParallelStrategy:
+    def test_shards_spread_across_devices(self, four_gpu_cluster):
+        result = ModelParallelStrategy().schedule(bert_jobs(1), four_gpu_cluster)
+        assert len({record.device for record in result.trace.records}) == 4
+
+    def test_models_serialised(self, four_gpu_cluster):
+        result = ModelParallelStrategy().schedule(bert_jobs(2), four_gpu_cluster)
+        first_end = max(r.end for r in result.trace.records if r.tags["model"] == "bert-0")
+        second_start = min(r.start for r in result.trace.records if r.tags["model"] == "bert-1")
+        assert second_start >= first_end - 1e-9
+
+    def test_low_utilization_is_the_problem_the_paper_describes(self, four_gpu_cluster):
+        """Figure 1: classic model parallelism leaves devices mostly idle."""
+        result = ModelParallelStrategy().schedule(bert_jobs(1, batches=4), four_gpu_cluster)
+        assert result.cluster_utilization < 0.45
+
+    def test_forward_backward_tasks_never_overlap_within_a_model(self, four_gpu_cluster):
+        # The forward/backward pipeline of one model is strictly sequential under
+        # classic model parallelism (per-shard optimizer updates may overlap).
+        result = ModelParallelStrategy().schedule(bert_jobs(1, batches=2), four_gpu_cluster)
+        records = sorted(
+            (r for r in result.trace.records if r.tags["kind"] in ("forward", "backward")),
+            key=lambda r: r.start,
+        )
+        for first, second in zip(records, records[1:]):
+            assert second.start >= first.end - 1e-9
+
+    def test_memory_demand_within_device_limits(self, four_gpu_cluster):
+        result = ModelParallelStrategy().schedule(bert_jobs(2, cluster_batch=32), four_gpu_cluster)
+        for demand in result.trace.peak_memory_bytes.values():
+            assert demand <= 16 * GIB
+
+    def test_rejects_undersharded_model(self, two_gpu_cluster):
+        with pytest.raises(SchedulingError):
+            ModelParallelStrategy().schedule(
+                bert_jobs(1, cluster_batch=32, num_shards=1), two_gpu_cluster
+            )
+
+
+class TestShardParallelStrategy:
+    def test_beats_model_parallelism_on_multi_model_workload(self, four_gpu_cluster):
+        """Desideratum D2: shard parallelism out-throughputs classic model parallelism."""
+        jobs = bert_jobs(4, batches=2)
+        four_gpu_cluster.reset()
+        model_parallel = ModelParallelStrategy().schedule(jobs, four_gpu_cluster)
+        four_gpu_cluster.reset()
+        shard_parallel = ShardParallelStrategy().schedule(bert_jobs(4, batches=2), four_gpu_cluster)
+        assert shard_parallel.makespan < model_parallel.makespan
+        assert shard_parallel.speedup_over(model_parallel) > 1.5
+
+    def test_higher_utilization_than_model_parallel(self, four_gpu_cluster):
+        """Desideratum D1: device utilization rises with shard parallelism."""
+        jobs = bert_jobs(4, batches=2)
+        four_gpu_cluster.reset()
+        mp = ModelParallelStrategy().schedule(jobs, four_gpu_cluster)
+        four_gpu_cluster.reset()
+        sp = ShardParallelStrategy().schedule(bert_jobs(4, batches=2), four_gpu_cluster)
+        assert sp.cluster_utilization > mp.cluster_utilization
+
+    def test_single_model_degenerates_to_model_parallelism(self, four_gpu_cluster):
+        """With one model there is no second model to fill the bubbles."""
+        job = bert_jobs(1, batches=2)
+        four_gpu_cluster.reset()
+        sp = ShardParallelStrategy().schedule(job, four_gpu_cluster)
+        four_gpu_cluster.reset()
+        mp = ModelParallelStrategy().schedule(bert_jobs(1, batches=2), four_gpu_cluster)
+        assert sp.makespan == pytest.approx(mp.makespan, rel=0.25)
+
+    def test_schedule_respects_intra_model_order(self, four_gpu_cluster):
+        result = ShardParallelStrategy().schedule(bert_jobs(2, batches=1), four_gpu_cluster)
+        records = {r.task_id: r for r in result.trace.records}
+        for task_id, record in records.items():
+            if task_id.endswith("forward") and "/s1/" in task_id:
+                upstream = task_id.replace("/s1/", "/s0/")
+                assert record.start >= records[upstream].end - 1e-9
+
+    def test_waves_used_when_models_exceed_cluster_memory(self, four_gpu_cluster):
+        result = ShardParallelStrategy().schedule(
+            bert_jobs(10, cluster_batch=32, batches=1), four_gpu_cluster
+        )
+        assert result.waves >= 2
+        assert len(result.placements) == result.waves
+
+    def test_peak_memory_within_device_capacity(self, four_gpu_cluster):
+        result = ShardParallelStrategy().schedule(bert_jobs(4, cluster_batch=32, batches=1),
+                                                  four_gpu_cluster)
+        for peak in result.trace.peak_memory_bytes.values():
+            assert peak <= 16 * GIB
+
+    def test_all_tasks_executed_exactly_once(self, four_gpu_cluster):
+        jobs = bert_jobs(3, batches=2)
+        result = ShardParallelStrategy().schedule(jobs, four_gpu_cluster)
+        expected = sum(job.num_shards * 3 * job.total_batches for job in jobs)
+        assert len(result.trace.records) == expected
+        assert len({r.task_id for r in result.trace.records}) == expected
+
+    def test_custom_policy_accepted(self, four_gpu_cluster):
+        from repro.scheduler import fifo_policy
+
+        result = ShardParallelStrategy(policy=fifo_policy).schedule(
+            bert_jobs(2, batches=1), four_gpu_cluster
+        )
+        assert result.makespan > 0
+
+
+class TestFigure2Schematic:
+    """The paper's Figure 2: 3 models x 2 shards on 2 GPUs.
+
+    Model parallelism trains one model at a time (mostly one busy device);
+    task parallelism packs whole models onto devices (one device gets two
+    models, the other one); shard parallelism packs the shard tasks tightly.
+    The paper reports ~33% (task) and ~50% (shard) improvements over model
+    parallelism in this schematic.
+    """
+
+    def _results(self, cluster):
+        results = {}
+        for name, strategy in [
+            ("model-parallel", ModelParallelStrategy()),
+            ("task-parallel", TaskParallelStrategy()),
+            ("shard-parallel", ShardParallelStrategy()),
+        ]:
+            cluster.reset()
+            results[name] = strategy.schedule(schematic_jobs(3, 2), cluster)
+        return results
+
+    def test_ordering_matches_figure2(self, two_gpu_cluster):
+        results = self._results(two_gpu_cluster)
+        assert results["shard-parallel"].makespan < results["task-parallel"].makespan
+        assert results["task-parallel"].makespan < results["model-parallel"].makespan
+
+    def test_speedups_roughly_match_figure2(self, two_gpu_cluster):
+        results = self._results(two_gpu_cluster)
+        task_speedup = 1 - results["task-parallel"].makespan / results["model-parallel"].makespan
+        shard_speedup = 1 - results["shard-parallel"].makespan / results["model-parallel"].makespan
+        assert 0.20 <= task_speedup <= 0.45
+        assert 0.35 <= shard_speedup <= 0.62
+        assert shard_speedup > task_speedup
+
+
+class TestHybridStrategy:
+    def test_runs_and_beats_model_parallelism(self, four_gpu_cluster):
+        jobs = bert_jobs(4, batches=4)
+        four_gpu_cluster.reset()
+        hybrid = HybridShardDataParallelStrategy().schedule(jobs, four_gpu_cluster)
+        four_gpu_cluster.reset()
+        mp = ModelParallelStrategy().schedule(bert_jobs(4, batches=4), four_gpu_cluster)
+        assert hybrid.makespan < mp.makespan
+
+    def test_num_groups_validation(self, two_gpu_cluster):
+        with pytest.raises(SchedulingError):
+            HybridShardDataParallelStrategy(num_groups=4).schedule(
+                bert_jobs(2, num_shards=2), two_gpu_cluster
+            )
+
+    def test_too_many_shards_rejected(self, two_gpu_cluster):
+        with pytest.raises(SchedulingError):
+            HybridShardDataParallelStrategy().schedule(bert_jobs(1, num_shards=4), two_gpu_cluster)
+
+    def test_model_visits_multiple_groups(self):
+        cluster = Cluster.single_server(8, "v100-16gb")
+        jobs = bert_jobs(2, batches=4, num_shards=4)
+        result = HybridShardDataParallelStrategy(num_groups=2).schedule(jobs, cluster)
+        devices_of_model = {
+            r.device for r in result.trace.records if r.tags["model"].startswith("bert-0@")
+        }
+        assert len(devices_of_model) > 4
+
+    def test_all_batches_accounted_for(self, four_gpu_cluster):
+        jobs = bert_jobs(2, batches=5)
+        result = HybridShardDataParallelStrategy().schedule(jobs, four_gpu_cluster)
+        forwards = [r for r in result.trace.records
+                    if r.tags["kind"] == "forward" and r.tags["shard"] == 0]
+        assert len(forwards) == sum(job.total_batches for job in jobs)
+
+
+class TestScheduleResult:
+    def test_summary_and_throughput(self, four_gpu_cluster):
+        result = ShardParallelStrategy().schedule(bert_jobs(2, batches=2), four_gpu_cluster)
+        summary = result.summary()
+        assert summary["strategy"] == "shard-parallel"
+        assert summary["num_models"] == 2
+        assert result.throughput_samples_per_second > 0
+        assert result.total_samples == 2 * 2 * 16

@@ -1,0 +1,231 @@
+"""Tests for shards, plans, partitioners, and plan validation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GPU_PRESETS
+from repro.exceptions import PartitionError
+from repro.models import BertConfig, FeedForwardConfig
+from repro.profiling import ModelProfile, linear_cost
+from repro.sharding import (
+    ShardingPlan,
+    make_plan,
+    partition_by_memory_limit,
+    partition_min_max,
+    partition_uniform,
+    validate_plan,
+)
+
+GIB = 1024 ** 3
+
+
+def toy_profile(num_blocks=6, width=64):
+    return ModelProfile(
+        model_name="toy",
+        blocks=[linear_cost(f"b{i}", width, width) for i in range(num_blocks)],
+    )
+
+
+def uneven_profile():
+    """Blocks with very different sizes to exercise balancing."""
+    widths = [(8, 8), (256, 256), (8, 8), (256, 256), (8, 8), (8, 8)]
+    return ModelProfile(
+        model_name="uneven",
+        blocks=[linear_cost(f"b{i}", a, b) for i, (a, b) in enumerate(widths)],
+    )
+
+
+class TestPartitionUniform:
+    def test_even_split(self):
+        assert partition_uniform(toy_profile(6), 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_remainder_spread_to_front(self):
+        assert partition_uniform(toy_profile(7), 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_one_shard(self):
+        assert partition_uniform(toy_profile(5), 1) == [(0, 5)]
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            partition_uniform(toy_profile(3), 0)
+        with pytest.raises(PartitionError):
+            partition_uniform(toy_profile(3), 4)
+
+
+class TestPartitionMinMax:
+    def test_covers_all_blocks_contiguously(self):
+        boundaries = partition_min_max(uneven_profile(), 3)
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == 6
+        for (s1, e1), (s2, e2) in zip(boundaries, boundaries[1:]):
+            assert e1 == s2
+
+    def test_produces_requested_shard_count(self):
+        for k in range(1, 7):
+            assert len(partition_min_max(toy_profile(6), k)) == k
+
+    def test_balances_better_than_uniform_on_uneven_blocks(self):
+        profile = uneven_profile()
+
+        def bottleneck(boundaries):
+            return max(
+                profile.range_memory_bytes(start, stop) for start, stop in boundaries
+            )
+
+        uniform = bottleneck(partition_uniform(profile, 3))
+        balanced = bottleneck(partition_min_max(profile, 3, weight="memory"))
+        assert balanced <= uniform
+
+    def test_matches_bruteforce_optimum_on_small_inputs(self):
+        import itertools
+
+        profile = uneven_profile()
+        weights = [profile.block_memory_bytes(i) for i in range(len(profile))]
+        num_shards = 3
+
+        best = None
+        positions = range(1, len(weights))
+        for cut in itertools.combinations(positions, num_shards - 1):
+            bounds = [0, *cut, len(weights)]
+            groups = [sum(weights[a:b]) for a, b in zip(bounds, bounds[1:])]
+            bottleneck = max(groups)
+            best = bottleneck if best is None else min(best, bottleneck)
+
+        produced = partition_min_max(profile, num_shards, weight="memory")
+        produced_bottleneck = max(
+            profile.range_memory_bytes(start, stop) for start, stop in produced
+        )
+        assert produced_bottleneck == pytest.approx(best, rel=1e-6)
+
+    def test_flops_weighting_supported(self):
+        boundaries = partition_min_max(toy_profile(8), 4, weight="flops")
+        assert len(boundaries) == 4
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_min_max(toy_profile(4), 2, weight="watts")
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            partition_min_max(toy_profile(3), 0)
+        with pytest.raises(PartitionError):
+            partition_min_max(toy_profile(3), 5)
+
+
+class TestPartitionByMemoryLimit:
+    def test_single_shard_when_budget_is_huge(self):
+        assert partition_by_memory_limit(toy_profile(), 10 * GIB) == [(0, 6)]
+
+    def test_splits_when_budget_is_small(self):
+        profile = toy_profile(6)
+        per_block = profile.block_memory_bytes(0)
+        boundaries = partition_by_memory_limit(profile, int(per_block * 2.5))
+        assert len(boundaries) == 3
+        for start, stop in boundaries:
+            assert profile.range_memory_bytes(start, stop) <= per_block * 2.5
+
+    def test_block_larger_than_budget_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_by_memory_limit(toy_profile(), 10)
+
+    def test_invalid_budget(self):
+        with pytest.raises(PartitionError):
+            partition_by_memory_limit(toy_profile(), 0)
+
+
+class TestShardingPlan:
+    def test_shards_cover_model_and_conserve_params(self):
+        profile = toy_profile(6)
+        plan = ShardingPlan("toy", profile, [(0, 2), (2, 5), (5, 6)], batch_size=4)
+        assert plan.num_shards == 3
+        assert plan.total_param_count == profile.total_params
+
+    def test_boundary_validation(self):
+        profile = toy_profile(4)
+        with pytest.raises(PartitionError):
+            ShardingPlan("toy", profile, [(0, 2), (3, 4)])  # gap
+        with pytest.raises(PartitionError):
+            ShardingPlan("toy", profile, [(0, 2), (2, 2), (2, 4)])  # empty
+        with pytest.raises(PartitionError):
+            ShardingPlan("toy", profile, [(0, 3)])  # does not cover
+        with pytest.raises(PartitionError):
+            ShardingPlan("toy", profile, [])
+        with pytest.raises(PartitionError):
+            ShardingPlan("toy", profile, [(0, 4)], batch_size=0)
+
+    def test_shard_fields(self):
+        profile = toy_profile(4, width=32)
+        plan = ShardingPlan("toy", profile, [(0, 2), (2, 4)], batch_size=8)
+        first, second = plan.shards
+        assert first.input_bytes == 0
+        assert first.output_bytes == profile.blocks[1].output_bytes_per_sample * 8
+        assert second.input_bytes == first.output_bytes
+        assert first.param_count == 2 * (32 * 32 + 32)
+        assert first.optimizer_bytes == first.param_count * profile.optimizer_bytes_per_param
+        assert first.backward_flops == pytest.approx(2 * first.forward_flops)
+        assert first.shard_id == "toy/shard0"
+        assert first.num_blocks == 2
+        assert str(first)
+
+    def test_shard_for_block(self):
+        plan = ShardingPlan("toy", toy_profile(6), [(0, 3), (3, 6)])
+        assert plan.shard_for_block(0).index == 0
+        assert plan.shard_for_block(5).index == 1
+        with pytest.raises(PartitionError):
+            plan.shard_for_block(17)
+
+    def test_memory_reduction_factor_for_bert_large(self):
+        """Reproduces the §4.2 headline: 4-way BERT-Large sharding gives ~3-4x less per-device memory."""
+        profile = BertConfig.bert_large().profile(seq_len=384)
+        plan = make_plan("bert", profile, batch_size=32, num_shards=4)
+        assert 3.0 <= plan.memory_reduction_factor() <= 4.5
+
+    def test_iteration(self):
+        plan = ShardingPlan("toy", toy_profile(4), [(0, 2), (2, 4)])
+        assert len(list(plan)) == 2
+        assert len(plan) == 2
+
+
+class TestMakePlan:
+    def test_requires_exactly_one_mode(self):
+        profile = toy_profile()
+        with pytest.raises(PartitionError):
+            make_plan("toy", profile)
+        with pytest.raises(PartitionError):
+            make_plan("toy", profile, num_shards=2, memory_limit_bytes=GIB)
+
+    def test_uniform_strategy(self):
+        plan = make_plan("toy", toy_profile(6), num_shards=3, strategy="uniform")
+        assert plan.boundaries == [(0, 2), (2, 4), (4, 6)]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(PartitionError):
+            make_plan("toy", toy_profile(), num_shards=2, strategy="magic")
+
+    def test_memory_limit_mode(self):
+        profile = BertConfig.bert_large().profile(seq_len=384)
+        plan = make_plan("bert", profile, batch_size=32,
+                         memory_limit_bytes=GPU_PRESETS["v100-16gb"].memory_bytes)
+        assert plan.num_shards >= 2
+        assert plan.max_shard_working_bytes <= GPU_PRESETS["v100-16gb"].memory_bytes
+
+    def test_mlp_single_shard_when_it_fits(self):
+        profile = FeedForwardConfig.paper_1_2m().profile()
+        plan = make_plan("mlp", profile, batch_size=32,
+                         memory_limit_bytes=GPU_PRESETS["v100-16gb"].memory_bytes)
+        assert plan.num_shards == 1
+
+
+class TestValidatePlan:
+    def test_valid_plan_passes(self):
+        profile = BertConfig.bert_large().profile(seq_len=384)
+        plan = make_plan("bert", profile, batch_size=32, num_shards=4)
+        assert validate_plan(plan, GPU_PRESETS["v100-16gb"]) == []
+
+    def test_oversized_shard_detected(self):
+        profile = BertConfig.bert_large().profile(seq_len=384)
+        plan = make_plan("bert", profile, batch_size=32, num_shards=1)
+        problems = validate_plan(plan, GPU_PRESETS["v100-16gb"], strict=False)
+        assert problems
+        with pytest.raises(PartitionError):
+            validate_plan(plan, GPU_PRESETS["v100-16gb"], strict=True)

@@ -1,0 +1,151 @@
+"""Tests for utility modules: RNG, logging, table formatting, serialization."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    RandomState,
+    format_table,
+    from_json,
+    get_logger,
+    get_rng,
+    seed_everything,
+    set_verbosity,
+    temporary_seed,
+    to_json,
+)
+from repro.utils.rng import get_seed
+
+
+class TestRandomState:
+    def test_same_seed_same_draws(self):
+        a, b = RandomState(5), RandomState(5)
+        assert np.array_equal(a.normal(size=4), b.normal(size=4))
+        assert np.array_equal(a.integers(0, 10, size=4), b.integers(0, 10, size=4))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(RandomState(1).normal(size=8), RandomState(2).normal(size=8))
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent = RandomState(7, name="parent")
+        child_a = parent.spawn("weights")
+        child_b = RandomState(7, name="parent").spawn("weights")
+        other = RandomState(7).spawn("dropout")
+        assert child_a.seed == child_b.seed
+        assert child_a.seed != other.seed
+        assert "weights" in child_a.name
+
+    def test_uniform_permutation_choice(self):
+        state = RandomState(0)
+        values = state.uniform(0, 1, size=10)
+        assert np.all((0 <= values) & (values <= 1))
+        assert sorted(state.permutation(5).tolist()) == [0, 1, 2, 3, 4]
+        assert state.choice([1, 2, 3]) in (1, 2, 3)
+
+
+class TestGlobalRng:
+    def test_seed_everything_reproducible(self):
+        seed_everything(42)
+        first = get_rng().normal(size=3)
+        seed_everything(42)
+        second = get_rng().normal(size=3)
+        assert np.array_equal(first, second)
+        assert get_seed() == 42
+
+    def test_temporary_seed_restores_previous_stream(self):
+        seed_everything(1)
+        get_rng().normal(size=2)
+        before_state = get_rng().normal(size=2)
+        seed_everything(1)
+        get_rng().normal(size=2)
+        with temporary_seed(99):
+            get_rng().normal(size=100)
+        after_state = get_rng().normal(size=2)
+        assert np.array_equal(before_state, after_state)
+
+    def test_temporary_seed_none_is_noop(self):
+        seed_everything(3)
+        with temporary_seed(None):
+            pass
+        assert get_seed() == 3
+
+
+class TestLogging:
+    def test_namespaced_loggers(self):
+        assert get_logger().name == "repro"
+        assert get_logger("scheduler").name == "repro.scheduler"
+
+    def test_set_verbosity_accepts_string_and_int(self):
+        set_verbosity("DEBUG")
+        assert get_logger().level == logging.DEBUG
+        set_verbosity(logging.WARNING)
+        assert get_logger().level == logging.WARNING
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 123456]], title="Results")
+        lines = text.splitlines()
+        assert lines[0] == "Results"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123456], [1234567.0], [0.5], [0]])
+        assert "1.235e-04" in text
+        assert "1.235e+06" in text
+        assert "0.5" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment_consistent(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+
+class TestSerialization:
+    def test_numpy_types_serialised(self):
+        payload = {
+            "int": np.int64(3),
+            "float": np.float32(0.5),
+            "bool": np.bool_(True),
+            "array": np.arange(3),
+        }
+        parsed = json.loads(to_json(payload))
+        assert parsed["int"] == 3
+        assert parsed["float"] == 0.5
+        assert parsed["bool"] is True
+        assert parsed["array"] == [0, 1, 2]
+
+    def test_dataclasses_serialised(self):
+        from repro.profiling import linear_cost
+
+        parsed = json.loads(to_json(linear_cost("fc", 4, 4)))
+        assert parsed["name"] == "fc"
+        assert parsed["param_count"] == 20
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "data.json"
+        to_json({"a": [1, 2, 3]}, path=path)
+        assert from_json(path) == {"a": [1, 2, 3]}
+        assert from_json(str(path)) == {"a": [1, 2, 3]}
+
+    def test_from_json_string(self):
+        assert from_json('{"x": 1}') == {"x": 1}
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        from repro import exceptions
+
+        assert issubclass(exceptions.PartitionError, exceptions.ReproError)
+        assert issubclass(exceptions.OutOfDeviceMemoryError, exceptions.SchedulingError)
+        error = exceptions.OutOfDeviceMemoryError("gpu0", 100, 50)
+        assert "gpu0" in str(error)
+        assert error.requested_bytes == 100
