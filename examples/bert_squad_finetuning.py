@@ -47,14 +47,15 @@ def simulate_paper_scale_selection() -> None:
                          num_shards=4)
         for i in range(NUM_CANDIDATES)
     ]
-    results = session.compare_strategies(
+    outcomes = session.compare_strategies(
         jobs, strategies=("task-parallel", "model-parallel", "shard-parallel")
     )
     rows = []
-    for name, result in results.items():
-        if result is None:
+    for name, outcome in outcomes.items():
+        if not outcome.feasible:
             rows.append([name, "infeasible: BERT-Large exceeds one 16 GiB GPU", "-", "-"])
             continue
+        result = outcome.unwrap()
         rows.append([
             name, f"{result.makespan / 60:.1f} min", f"{result.cluster_utilization:.2f}",
             f"{result.throughput_samples_per_second:.1f}",
@@ -62,8 +63,8 @@ def simulate_paper_scale_selection() -> None:
     print(format_table(["strategy", "simulated time", "utilization", "samples/s"], rows,
                        title=f"{NUM_CANDIDATES} BERT-Large candidates, "
                              f"{SIMULATED_EPOCHS} epochs x {SIMULATED_STEPS_PER_EPOCH} steps"))
-    shard = results["shard-parallel"]
-    model = results["model-parallel"]
+    shard = outcomes["shard-parallel"].unwrap()
+    model = outcomes["model-parallel"].unwrap()
     print(f"Hydra speedup over classic model parallelism: {shard.speedup_over(model):.2f}x")
 
 

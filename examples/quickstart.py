@@ -2,21 +2,25 @@
 
 Run with:  python examples/quickstart.py
 
-The script walks through the three layers of the library:
+The script walks through the layers of the library (see DESIGN.md):
 
 1. profile a BERT-Large configuration and shard it for a 4x16 GB V100 server;
 2. simulate a 4-model selection run under task / model / shard parallelism and
    compare makespan and utilization (the paper's Figure 2 comparison at scale);
-3. really train two small MLPs with interleaved shard tasks on the numpy
-   engine and show the losses they reach.
+3. declare one `Experiment` and run it twice — first on the cost-model
+   `SimulationBackend` to rank candidates by simulated makespan, then on the
+   `ShardParallelBackend`, which really trains the same candidates on the
+   numpy engine with interleaved shard tasks.
 """
 
 import numpy as np
 
-from repro import HydraConfig, HydraSession, run_model_selection
+from repro import HydraConfig, HydraSession
+from repro.api import Budget, Experiment, ShardParallelBackend, SimulationBackend
 from repro.data import DataLoader, make_classification
 from repro.models import BertConfig, FeedForwardConfig, FeedForwardNetwork
 from repro.optim import Adam
+from repro.selection import SearchSpace
 from repro.utils import format_table, seed_everything
 
 GIB = 1024 ** 3
@@ -47,39 +51,57 @@ def simulate_selection(session: HydraSession) -> None:
                          batches_per_epoch=4, batch_size=32, num_shards=4)
         for i in range(4)
     ]
-    results = session.compare_strategies(jobs)
+    outcomes = session.compare_strategies(jobs)
     rows = []
-    for name, result in results.items():
-        if result is None:
-            rows.append([name, "infeasible (model larger than one GPU)", "-", "-"])
+    for name, outcome in outcomes.items():
+        if not outcome.feasible:
+            rows.append([name, f"infeasible ({outcome.skip_reason})", "-", "-"])
             continue
+        result = outcome.unwrap()
         rows.append([name, f"{result.makespan:.1f}", f"{result.cluster_utilization:.2f}",
                      f"{result.throughput_samples_per_second:.1f}"])
     print(format_table(["strategy", "makespan (s)", "utilization", "samples/s"], rows))
 
 
-def train_small_models() -> None:
-    print("\n=== 3. Really training two MLP candidates with shard parallelism ===")
+def declarative_experiment() -> None:
+    print("\n=== 3. One Experiment, two backends: simulate, then train for real ===")
     data = make_classification(num_samples=256, num_features=32, num_classes=4,
                                class_separation=2.5, rng=np.random.default_rng(0))
 
-    def builder(seed: int, lr: float):
-        def build():
-            model = FeedForwardNetwork(
-                FeedForwardConfig(input_dim=32, hidden_dims=(64, 32), num_classes=4), seed=seed
-            )
-            loader = DataLoader(data, batch_size=32, shuffle=True, seed=seed)
-            return model, Adam(model.parameters(), lr=lr), loader
-        return build
+    def config_for(trial):
+        return FeedForwardConfig(input_dim=32, hidden_dims=(int(trial.get("width")), 32),
+                                 num_classes=4, name=f"mlp-w{trial.get('width')}")
 
-    result = run_model_selection(
-        {"lr=0.01": builder(0, 1e-2), "lr=0.001": builder(1, 1e-3)},
-        num_devices=2,
-        num_epochs=5,
+    def build(trial):
+        model = FeedForwardNetwork(config_for(trial), seed=0)
+        optimizer = Adam(model.parameters(), lr=float(trial.get("lr")))
+        loader = DataLoader(data, batch_size=32, shuffle=True, seed=0)
+        return model, optimizer, loader
+
+    experiment = Experiment(
+        space=SearchSpace({"width": [32, 64], "lr": [1e-2, 1e-3]}),
+        searcher="grid",
+        objective="loss",
+        budget=Budget(epochs_per_trial=5),
+        name="quickstart",
     )
-    rows = [[trial.trial_id, f"{trial.metric('loss'):.4f}"] for trial in result.ranked()]
-    print(format_table(["candidate", "final loss"], rows))
-    print(f"Best candidate: {result.best().trial_id}")
+
+    simulated = experiment.run(
+        backend=SimulationBackend(profile_fn=lambda trial: config_for(trial).profile(),
+                                  batches_per_epoch=8, batch_size=32),
+        objective="makespan_seconds",
+    )
+    trained = experiment.run(backend=ShardParallelBackend(builder=build, num_devices=2))
+
+    simulated_cost = {t.trial_id: t.metric("makespan_seconds") for t in simulated.trials}
+    rows = [
+        [t.trial_id, t.hyperparameters["width"], t.hyperparameters["lr"],
+         f"{simulated_cost[t.trial_id] * 1e3:.3f}", f"{t.metric('loss'):.4f}"]
+        for t in trained.ranked()
+    ]
+    print(format_table(["candidate", "width", "lr", "simulated ms", "final loss"], rows))
+    print(f"Cheapest simulated candidate: {simulated.best().trial_id}; "
+          f"best really-trained candidate: {trained.best().trial_id}")
 
 
 def main() -> None:
@@ -87,7 +109,7 @@ def main() -> None:
     session = HydraSession(HydraConfig(num_devices=4, gpu="v100-16gb"))
     plan_bert_large(session)
     simulate_selection(session)
-    train_small_models()
+    declarative_experiment()
 
 
 if __name__ == "__main__":

@@ -6,21 +6,29 @@ A practitioner wants to compare dozens of configurations (architecture width,
 depth, learning rate) on an image-features classification task.  The search is
 embarrassingly parallel across models; Hydra's contribution is to make the
 *training* side of that search efficient even when models are sharded.  This
-example uses a synthetic stand-in for the X-ray feature dataset and drives:
+example uses a synthetic stand-in for the X-ray feature dataset and declares
+two `Experiment`s against the real shard-parallel training backend:
 
-* a grid search where every candidate is really trained on the numpy engine,
-  with shard-parallel interleaving across simulated devices; and
-* a successive-halving pass that prunes weak candidates early.
+* a grid search where every candidate is trained on the numpy engine with
+  shard-parallel interleaving across simulated devices; and
+* a successive-halving pass over the same backend that prunes weak
+  candidates early (the rung survivors resume training in place).
 """
 
 import numpy as np
 
+from repro.api import (
+    Budget,
+    Experiment,
+    GridSearcher,
+    ShardParallelBackend,
+    SuccessiveHalvingSearcher,
+)
 from repro.data import DataLoader, make_classification
 from repro.models import FeedForwardConfig, FeedForwardNetwork
 from repro.optim import Adam
-from repro.selection import SearchSpace, successive_halving
-from repro.sharding import partition_uniform
-from repro.training import ShardParallelTrainer, Trainer
+from repro.selection import SearchSpace
+from repro.training import Trainer
 from repro.utils import format_table, seed_everything
 
 NUM_DEVICES = 2
@@ -35,90 +43,80 @@ def make_dataset():
     )
 
 
-def grid_of_candidates():
-    space = SearchSpace({
-        "width": [32, 64, 128],
-        "depth": [1, 2],
-        "lr": [1e-2, 3e-3],
-    })
-    return list(space.grid())
+def make_backend(dataset, models):
+    """Shard-parallel backend over real models; keeps each built model around
+    so the selection winner can be evaluated after the search."""
 
-
-def run_grid_with_shard_parallel_training(dataset) -> None:
-    print("\n=== Grid search: every candidate really trained, shard-parallel ===")
-    candidates = grid_of_candidates()
-    trainer = ShardParallelTrainer(num_devices=NUM_DEVICES)
-    eval_loader = DataLoader(dataset, batch_size=128)
-    models = {}
-    for index, params in enumerate(candidates):
-        hidden = tuple([params["width"]] * params["depth"])
+    def build(trial):
+        hidden = (int(trial.get("width")),) * int(trial.get("depth"))
         config = FeedForwardConfig(input_dim=64, hidden_dims=hidden, num_classes=5)
-        model = FeedForwardNetwork(config, seed=index)
-        trial_id = f"w{params['width']}-d{params['depth']}-lr{params['lr']}"
-        models[trial_id] = model
-        boundaries = partition_uniform(model.profile(), min(model.num_blocks(), NUM_DEVICES))
-        trainer.add_model(
-            model,
-            Adam(model.parameters(), lr=params["lr"]),
-            DataLoader(dataset, batch_size=32, shuffle=True, seed=index),
-            boundaries,
-            model_id=trial_id,
-        )
+        # Deterministic per-trial seed: trial ids end in the trial index.
+        model = FeedForwardNetwork(config, seed=int(trial.trial_id.rsplit("-", 1)[-1]))
+        models[trial.trial_id] = model
+        loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=0)
+        return model, Adam(model.parameters(), lr=float(trial.get("lr"))), loader
 
-    reports = trainer.fit(num_epochs=NUM_EPOCHS)
+    return ShardParallelBackend(builder=build, num_devices=NUM_DEVICES)
 
+
+def run_grid(dataset) -> None:
+    print("\n=== Grid search: every candidate really trained, shard-parallel ===")
+    space = SearchSpace({"width": [32, 64, 128], "depth": [1, 2], "lr": [1e-2, 3e-3]})
+    models = {}
+    result = Experiment(
+        space=space,
+        searcher=GridSearcher(),
+        backend=make_backend(dataset, models),
+        objective="loss",
+        budget=Budget(epochs_per_trial=NUM_EPOCHS),
+        name="xray-grid",
+    ).run()
+
+    eval_loader = DataLoader(dataset, batch_size=128)
     rows = []
-    for trial_id, report in reports.items():
-        evaluator = Trainer(models[trial_id], Adam(models[trial_id].parameters(), lr=1e-3),
+    for trial in result.ranked():
+        model = models[trial.trial_id]
+        evaluator = Trainer(model, Adam(model.parameters(), lr=1e-3),
                             DataLoader(dataset, batch_size=32))
         metrics = evaluator.evaluate(eval_loader)
-        rows.append([trial_id, f"{report.final_loss:.4f}", f"{metrics['accuracy']:.3f}"])
-    rows.sort(key=lambda row: -float(row[2]))
-    print(format_table(["candidate", "train loss", "eval accuracy"], rows,
-                       title=f"{len(rows)} candidates, {NUM_EPOCHS} epochs each"))
+        rows.append([
+            trial.trial_id, trial.hyperparameters["width"], trial.hyperparameters["depth"],
+            trial.hyperparameters["lr"], f"{trial.metric('loss'):.4f}",
+            f"{metrics['accuracy']:.3f}",
+        ])
+    rows.sort(key=lambda row: -float(row[5]))
+    print(format_table(["candidate", "width", "depth", "lr", "train loss", "eval accuracy"],
+                       rows, title=f"{len(rows)} candidates, {NUM_EPOCHS} epochs each"))
     print(f"Selected model: {rows[0][0]}")
 
 
 def run_successive_halving(dataset) -> None:
     print("\n=== Successive halving: prune weak candidates early ===")
-    eval_loader = DataLoader(dataset, batch_size=128)
-
-    def train_fn(trial, num_epochs, state):
-        if state is None:
-            config = FeedForwardConfig(
-                input_dim=64,
-                hidden_dims=(int(trial.get("width")),) * int(trial.get("depth")),
-                num_classes=5,
-            )
-            model = FeedForwardNetwork(config, seed=0)
-            trainer = Trainer(
-                model,
-                Adam(model.parameters(), lr=float(trial.get("lr"))),
-                DataLoader(dataset, batch_size=32, shuffle=True, seed=0),
-                eval_loader=eval_loader,
-            )
-        else:
-            trainer = state
-        trainer.fit(num_epochs)
-        metrics = trainer.evaluate()
-        return {"loss": metrics["loss"], "accuracy": metrics["accuracy"]}, trainer
-
     space = SearchSpace({"width": [32, 64, 128], "depth": [1, 2], "lr": [1e-2, 3e-3, 1e-3]})
-    result = successive_halving(space, train_fn, num_trials=8, min_epochs=1,
-                                reduction_factor=2, objective="accuracy", mode="max", seed=7)
+    models = {}
+    result = Experiment(
+        space=space,
+        searcher=SuccessiveHalvingSearcher(num_trials=8, min_epochs=1,
+                                           reduction_factor=2, seed=7),
+        backend=make_backend(dataset, models),
+        objective="loss",
+        mode="min",
+        name="xray-sha",
+    ).run()
     best = result.best()
     rows = [[t.trial_id, t.hyperparameters["width"], t.hyperparameters["depth"],
-             t.hyperparameters["lr"], t.epochs_trained, f"{t.metric('accuracy'):.3f}"]
+             t.hyperparameters["lr"], t.epochs_trained, f"{t.metric('loss'):.4f}"]
             for t in result.ranked()[:5]]
-    print(format_table(["trial", "width", "depth", "lr", "epochs", "accuracy"], rows,
+    print(format_table(["trial", "width", "depth", "lr", "epochs", "loss"], rows,
                        title="Top 5 after successive halving"))
-    print(f"Winner: {best.trial_id} with accuracy {best.metric('accuracy'):.3f}")
+    print(f"Winner: {best.trial_id} with loss {best.metric('loss'):.4f} "
+          f"after {best.epochs_trained} epochs")
 
 
 def main() -> None:
     seed_everything(0)
     dataset = make_dataset()
-    run_grid_with_shard_parallel_training(dataset)
+    run_grid(dataset)
     run_successive_halving(dataset)
 
 

@@ -27,9 +27,40 @@ __all__ = [
 ]
 
 
+#: names re-exported lazily from the declarative experiment API; kept in
+#: sync with ``repro.api.__all__`` (asserted by tests/test_api.py)
+_API_EXPORTS = (
+    "Budget",
+    "Callback",
+    "CallbackList",
+    "CerebroBackend",
+    "CohortEngineBackend",
+    "EarlyStopping",
+    "ExecutionBackend",
+    "Experiment",
+    "FixedSearcher",
+    "FunctionBackend",
+    "GridSearcher",
+    "LoggingCallback",
+    "RandomSearcher",
+    "ResumableFunctionBackend",
+    "Searcher",
+    "ShardParallelBackend",
+    "SimulationBackend",
+    "SuccessiveHalvingSearcher",
+    "TrialHandle",
+    "TrialRunner",
+    "TrialTimer",
+    "make_searcher",
+)
+
+
 def __getattr__(name):
-    """Lazily expose the facade API to avoid importing heavy modules eagerly."""
+    """Lazily expose the facade APIs to avoid importing heavy modules eagerly."""
     if name in ("HydraSession", "HydraConfig", "run_model_selection"):
         from repro import hydra
         return getattr(hydra, name)
+    if name in _API_EXPORTS:
+        from repro import api
+        return getattr(api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,69 @@
+"""Declarative experiment API: searchers × execution backends.
+
+This package is the single front door for model selection (see
+``DESIGN.md``).  Declare an :class:`Experiment` — search space, objective,
+budget, searcher — and run it on any :class:`ExecutionBackend`:
+
+* :class:`~repro.api.backends.SimulationBackend` — cost-model execution on
+  the simulated GPU cluster under any scheduling strategy;
+* :class:`~repro.api.backends.ShardParallelBackend` — real numpy-engine
+  training with Hydra-style shard-parallel interleaving;
+* :class:`~repro.api.backends.CerebroBackend` — real training with
+  Cerebro-style model hopping over data partitions;
+* :class:`~repro.api.backends.FunctionBackend` /
+  :class:`~repro.api.backends.ResumableFunctionBackend` — plain callables
+  (surrogate objectives, tests, legacy ``TrainFn`` shims).
+
+Any searcher composes with any backend; callbacks observe every trial and
+can stop trials early.
+"""
+
+from repro.api.backend import CohortEngineBackend, ExecutionBackend, TrialHandle
+from repro.api.backends import (
+    CerebroBackend,
+    FunctionBackend,
+    ResumableFunctionBackend,
+    ShardParallelBackend,
+    SimulationBackend,
+)
+from repro.api.callbacks import (
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    LoggingCallback,
+    TrialTimer,
+)
+from repro.api.experiment import Budget, Experiment, TrialRunner
+from repro.api.searchers import (
+    FixedSearcher,
+    GridSearcher,
+    RandomSearcher,
+    Searcher,
+    SuccessiveHalvingSearcher,
+    make_searcher,
+)
+
+__all__ = [
+    "Budget",
+    "Callback",
+    "CallbackList",
+    "CerebroBackend",
+    "CohortEngineBackend",
+    "EarlyStopping",
+    "ExecutionBackend",
+    "Experiment",
+    "FixedSearcher",
+    "FunctionBackend",
+    "GridSearcher",
+    "LoggingCallback",
+    "RandomSearcher",
+    "ResumableFunctionBackend",
+    "Searcher",
+    "ShardParallelBackend",
+    "SimulationBackend",
+    "SuccessiveHalvingSearcher",
+    "TrialHandle",
+    "TrialRunner",
+    "TrialTimer",
+    "make_searcher",
+]

@@ -1,0 +1,133 @@
+"""The execution-backend protocol of the declarative experiment API.
+
+An :class:`ExecutionBackend` is anything that can take a
+:class:`~repro.selection.experiment.TrialConfig` and turn epochs of budget
+into metrics.  The contract is deliberately tiny:
+
+* :meth:`ExecutionBackend.prepare` materialises whatever per-trial state the
+  backend needs (a real model + optimizer, a sharding plan for the cost-model
+  simulator, ...) and wraps it in a :class:`TrialHandle`;
+* :meth:`ExecutionBackend.train` advances one prepared trial by ``epochs``
+  epochs and returns the latest metrics;
+* :meth:`ExecutionBackend.train_many` does the same for a *cohort* of trials
+  — backends that can co-schedule several models (shard-parallel
+  interleaving, Cerebro model hopping, multi-job cluster simulation)
+  override it to train the whole cohort together;
+* :meth:`ExecutionBackend.teardown` releases the per-trial state.
+
+Searchers never see any of this directly; they talk to a
+:class:`~repro.api.experiment.TrialRunner`, which drives the backend and
+keeps handles alive across calls so multi-rung searchers (successive
+halving) can resume trials.  Backends that cannot resume a trial — e.g. a
+legacy one-shot train function — set ``resumable = False`` and receive their
+whole epoch budget in a single :meth:`train` call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+from repro.selection.experiment import TrialConfig
+
+
+@dataclass
+class TrialHandle:
+    """A prepared trial: the searcher-visible token for backend-private state.
+
+    ``state`` belongs to the backend and is opaque to everyone else.
+    ``annotations`` are extra hyperparameter-like facts the backend learned
+    while preparing the trial (e.g. the shard count it chose); the runner
+    merges them into the recorded :class:`TrialResult` hyperparameters.
+    ``wall_seconds`` accumulates this trial's own training time when the
+    backend runs trials sequentially (co-scheduling backends leave it at
+    zero and the runner falls back to the cohort's elapsed window).
+    """
+
+    trial: TrialConfig
+    state: Any = None
+    epochs_trained: int = 0
+    last_metrics: Dict[str, float] = field(default_factory=dict)
+    annotations: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def trial_id(self) -> str:
+        return self.trial.trial_id
+
+
+class ExecutionBackend:
+    """Base class every execution engine adapts to (see module docstring)."""
+
+    #: short name used in reports and error messages
+    name: str = "backend"
+
+    #: whether ``train`` may be called repeatedly on the same handle to
+    #: continue training (required for successive halving and per-epoch
+    #: callbacks; one-shot function backends set this to False)
+    resumable: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def prepare(self, trial: TrialConfig) -> TrialHandle:
+        """Materialise per-trial state; subclasses usually extend this."""
+        return TrialHandle(trial=trial)
+
+    def train(self, handle: TrialHandle, epochs: int) -> Dict[str, float]:
+        """Advance ``handle`` by ``epochs`` epochs and return current metrics."""
+        raise NotImplementedError
+
+    def train_many(
+        self, handles: Sequence[TrialHandle], epochs: int
+    ) -> Dict[str, Dict[str, float]]:
+        """Train a cohort; the default runs trials one at a time.
+
+        Backends with real multi-model execution (shard-parallel
+        interleaving, model hopping, multi-job simulation) override this so
+        the cohort shares the cluster instead of queueing on it.  Because
+        execution here is sequential, each trial's own wall time is
+        attributable and accumulated on its handle.
+        """
+        metrics: Dict[str, Dict[str, float]] = {}
+        for handle in handles:
+            started = time.monotonic()
+            metrics[handle.trial_id] = self.train(handle, epochs)
+            handle.wall_seconds += time.monotonic() - started
+        return metrics
+
+    def teardown(self, handle: TrialHandle) -> None:
+        """Release per-trial state (models, plans, loaders)."""
+        handle.state = None
+
+
+class CohortEngineBackend(ExecutionBackend):
+    """Shared shape for backends that co-schedule cohorts on a real engine.
+
+    Subclasses implement :meth:`make_driver`, returning a fresh driver with
+    the cohort's models registered (a ``ShardParallelTrainer``, a
+    ``CerebroModelHopper``, ...) exposing ``train_epoch(epoch) ->
+    {trial_id: metrics}``.  Epoch numbers continue from what the cohort has
+    already trained, so shuffling differs between resumed rungs; cohorts
+    are rung-aligned by construction.
+    """
+
+    def train(self, handle: TrialHandle, epochs: int) -> Dict[str, float]:
+        return self.train_many([handle], epochs)[handle.trial_id]
+
+    def train_many(
+        self, handles: Sequence[TrialHandle], epochs: int
+    ) -> Dict[str, Dict[str, float]]:
+        if not handles:
+            return {}
+        driver = self.make_driver(handles)
+        base_epoch = handles[0].epochs_trained
+        metrics: Dict[str, Dict[str, float]] = {}
+        for offset in range(epochs):
+            metrics = driver.train_epoch(base_epoch + offset)
+        return {handle.trial_id: dict(metrics[handle.trial_id]) for handle in handles}
+
+    def make_driver(self, handles: Sequence[TrialHandle]):
+        """Build the engine driver with every handle's model registered."""
+        raise NotImplementedError

@@ -1,0 +1,24 @@
+"""Concrete execution backends for the declarative experiment API."""
+
+from repro.api.backends.cerebro import CerebroBackend, CerebroTrialBuilder
+from repro.api.backends.function import (
+    FunctionBackend,
+    ResumableFunctionBackend,
+    ResumableTrainFn,
+    TrainFn,
+)
+from repro.api.backends.shard_parallel import ShardParallelBackend, TrialBuilder
+from repro.api.backends.simulation import SimulationBackend, registry_profile
+
+__all__ = [
+    "CerebroBackend",
+    "CerebroTrialBuilder",
+    "FunctionBackend",
+    "ResumableFunctionBackend",
+    "ResumableTrainFn",
+    "TrainFn",
+    "ShardParallelBackend",
+    "TrialBuilder",
+    "SimulationBackend",
+    "registry_profile",
+]

@@ -1,0 +1,93 @@
+"""Cerebro backend: model hopping over fixed data partitions.
+
+Cerebro (Nakandala et al.) shards the *dataset* across workers and hops
+models between workers between sub-epochs; data never moves.  This backend
+owns the partitioned dataset and adapts the
+:class:`~repro.selection.cerebro.CerebroModelHopper` to the generic
+protocol: ``builder`` turns a trial into ``(model, optimizer)`` (loaders
+come from the backend's partitions), and each ``train_many`` cohort is
+hopped together — every model in the cohort sees every partition exactly
+once per epoch.
+
+Partitioning is seeded, so the per-worker loaders rebuilt for each cohort
+are identical across calls and resumed rungs continue on the same splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.backend import CohortEngineBackend, TrialHandle
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.models.base import ShardableModel
+from repro.optim.optimizer import Optimizer
+from repro.selection.cerebro import CerebroModelHopper
+from repro.selection.experiment import TrialConfig
+from repro.sharding.partitioner import partition_uniform
+
+#: builds the live model and optimizer for one trial
+CerebroTrialBuilder = Callable[[TrialConfig], Tuple[ShardableModel, Optimizer]]
+
+
+@dataclass
+class _TrialState:
+    model: ShardableModel
+    optimizer: Optimizer
+    boundaries: Optional[List[Tuple[int, int]]]
+
+
+class CerebroBackend(CohortEngineBackend):
+    """Trains trials for real with Cerebro-style model hopping."""
+
+    name = "cerebro"
+    resumable = True
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        builder: CerebroTrialBuilder,
+        num_workers: int = 2,
+        batch_size: int = 32,
+        num_shards: Optional[int] = None,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if num_workers <= 0:
+            raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
+        self.dataset = dataset
+        self.builder = builder
+        self.num_workers = int(num_workers)
+        self.batch_size = int(batch_size)
+        self.num_shards = num_shards
+        self.shuffle = shuffle
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, trial: TrialConfig) -> TrialHandle:
+        handle = super().prepare(trial)
+        model, optimizer = self.builder(trial)
+        boundaries: Optional[List[Tuple[int, int]]] = None
+        if self.num_shards is not None:
+            boundaries = partition_uniform(model.profile(), self.num_shards)
+            handle.annotations.setdefault("num_shards", self.num_shards)
+        handle.state = _TrialState(model, optimizer, boundaries)
+        handle.annotations.setdefault("model", model.model_name)
+        return handle
+
+    def make_driver(self, handles: Sequence[TrialHandle]) -> CerebroModelHopper:
+        hopper = CerebroModelHopper(
+            self.dataset,
+            num_workers=self.num_workers,
+            batch_size=self.batch_size,
+            shuffle=self.shuffle,
+            seed=self.seed,
+        )
+        for handle in handles:
+            state: _TrialState = handle.state
+            hopper.add_model(
+                state.model, state.optimizer, boundaries=state.boundaries,
+                model_id=handle.trial_id,
+            )
+        return hopper

@@ -1,0 +1,48 @@
+"""Backends that adapt plain train functions to the backend protocol.
+
+These exist mainly so the legacy ``grid_search``/``random_search``/
+``successive_halving`` entry points (which take raw callables) run through
+the same :class:`~repro.api.experiment.TrialRunner` machinery as the engine
+backends — and they remain handy for tests and surrogate objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.api.backend import ExecutionBackend, TrialHandle
+from repro.selection.experiment import TrialConfig
+
+#: one-shot train function: (config, num_epochs) -> metrics
+TrainFn = Callable[[TrialConfig, int], Dict[str, float]]
+
+#: resumable train function: (config, num_epochs, previous_state) -> (metrics, state)
+ResumableTrainFn = Callable[[TrialConfig, int, object], Tuple[Dict[str, float], object]]
+
+
+class FunctionBackend(ExecutionBackend):
+    """Wraps a one-shot ``TrainFn``; each trial is trained in a single call."""
+
+    name = "function"
+    resumable = False
+
+    def __init__(self, train_fn: TrainFn):
+        self.train_fn = train_fn
+
+    def train(self, handle: TrialHandle, epochs: int) -> Dict[str, float]:
+        return dict(self.train_fn(handle.trial, epochs))
+
+
+class ResumableFunctionBackend(ExecutionBackend):
+    """Wraps a ``ResumableTrainFn``; the opaque state lives on the handle."""
+
+    name = "resumable-function"
+    resumable = True
+
+    def __init__(self, train_fn: ResumableTrainFn):
+        self.train_fn = train_fn
+
+    def train(self, handle: TrialHandle, epochs: int) -> Dict[str, float]:
+        metrics, state = self.train_fn(handle.trial, epochs, handle.state)
+        handle.state = state
+        return dict(metrics)

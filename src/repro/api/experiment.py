@@ -1,0 +1,279 @@
+"""The declarative experiment: one object that any searcher × backend can run.
+
+``Experiment`` captures *what* to search (a :class:`SearchSpace`), *what to
+optimise* (objective + mode), *how much* to spend (a :class:`Budget`), and
+*how* to search (a :class:`Searcher`).  *Where* trials execute is a
+pluggable :class:`~repro.api.backend.ExecutionBackend`, so the same
+experiment can be simulated on the cost-model cluster to pick a plan and
+then replayed on the real numpy engine::
+
+    experiment = Experiment(space=space, searcher="grid", objective="loss")
+    simulated = experiment.run(backend=sim_backend, objective="makespan_seconds")
+    trained = experiment.run(backend=shard_backend)
+
+The :class:`TrialRunner` is the glue between the two halves: it prepares
+trials on the backend, steps them epoch by epoch (when the backend is
+resumable), fires callbacks, records results/wall time into an
+:class:`ExperimentTracker`, and keeps handles alive so multi-rung searchers
+can resume trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.api.backend import ExecutionBackend, TrialHandle
+from repro.api.callbacks import Callback, CallbackList
+from repro.api.searchers import Searcher, make_searcher
+from repro.exceptions import ConfigurationError
+from repro.selection.experiment import (
+    ExperimentTracker,
+    SelectionResult,
+    TrialConfig,
+    TrialResult,
+)
+from repro.selection.search_space import SearchSpace
+
+
+@dataclass(frozen=True)
+class Budget:
+    """How much training a selection run may spend.
+
+    ``epochs_per_trial`` is the budget of fixed-allocation searchers (grid,
+    random, fixed lists); multi-rung searchers derive their own per-rung
+    budgets.  ``max_trials`` caps how many configurations are tried when the
+    searcher does not fix that itself.
+    """
+
+    epochs_per_trial: int = 1
+    max_trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs_per_trial <= 0:
+            raise ConfigurationError(
+                f"epochs_per_trial must be positive, got {self.epochs_per_trial}"
+            )
+        if self.max_trials is not None and self.max_trials <= 0:
+            raise ConfigurationError(f"max_trials must be positive, got {self.max_trials}")
+
+
+class TrialRunner:
+    """Drives trials from a searcher onto a backend, firing callbacks.
+
+    One runner serves one ``Experiment.run`` invocation.  Searchers call
+    :meth:`run_trials` with a cohort and an epoch budget, and later
+    :meth:`retire` when they are done with a trial.  Handles persist between
+    calls, which is what makes successive halving's resumed rungs work.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        space: Optional[SearchSpace],
+        budget: Budget,
+        tracker: ExperimentTracker,
+        callbacks: CallbackList,
+    ):
+        self.backend = backend
+        self._space = space
+        self.budget = budget
+        self.tracker = tracker
+        self.callbacks = callbacks
+        self._handles: Dict[str, TrialHandle] = {}
+        self._retired: Set[str] = set()
+        self._last_result: Dict[str, TrialResult] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def space(self) -> SearchSpace:
+        if self._space is None:
+            raise ConfigurationError(
+                "this experiment declares no search space, but its searcher "
+                "requires one (only fixed trial lists run without a space)"
+            )
+        return self._space
+
+    @property
+    def objective(self) -> str:
+        return self.tracker.objective
+
+    @property
+    def mode(self) -> str:
+        return self.tracker.mode
+
+    # ------------------------------------------------------------------ #
+    def run_trials(
+        self, trials: Sequence[TrialConfig], epochs: int
+    ) -> List[TrialResult]:
+        """Train a cohort for ``epochs`` epochs and record one result each.
+
+        Already-retired trials are skipped.  Trials stopped early by a
+        callback are recorded with the epochs they completed, retired, and
+        omitted from the returned list — so a searcher never resumes them.
+
+        Resumable backends are stepped one epoch at a time *only when
+        callbacks are registered* (they are the only epoch observers);
+        otherwise the backend receives the whole budget in a single call —
+        which both avoids per-call setup overhead and preserves the legacy
+        ``TrainFn(config, num_epochs)`` chunk contract of the function
+        shims.
+        """
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        active: List[TrialHandle] = []
+        for trial in trials:
+            if trial.trial_id in self._retired:
+                continue
+            handle = self._handles.get(trial.trial_id)
+            if handle is None:
+                handle = self.backend.prepare(trial)
+                self._handles[trial.trial_id] = handle
+                self.callbacks.on_trial_start(trial)
+            self.tracker.start_trial(trial.trial_id)
+            active.append(handle)
+
+        stopped: List[TrialHandle] = []
+        observers = bool(self.callbacks.callbacks)
+        if self.backend.resumable and observers:
+            # Step one epoch at a time so callbacks see every epoch and can
+            # stop individual trials while the rest of the cohort continues.
+            cohort = list(active)
+            for _ in range(epochs):
+                if not cohort:
+                    break
+                metrics_map = self.backend.train_many(cohort, 1)
+                surviving: List[TrialHandle] = []
+                for handle in cohort:
+                    metrics = metrics_map[handle.trial_id]
+                    handle.epochs_trained += 1
+                    handle.last_metrics = dict(metrics)
+                    if self.callbacks.on_epoch_end(
+                        handle.trial, handle.epochs_trained, handle.last_metrics
+                    ):
+                        stopped.append(handle)
+                    else:
+                        surviving.append(handle)
+                cohort = surviving
+        else:
+            # Whole budget in one call: one-shot backends by contract, and
+            # resumable backends with nobody watching individual epochs.  A
+            # stop vote here cannot rewind training, but it still retires
+            # the trial so searchers never resume it.
+            metrics_map = self.backend.train_many(active, epochs)
+            for handle in active:
+                handle.epochs_trained += epochs
+                handle.last_metrics = dict(metrics_map[handle.trial_id])
+                if self.callbacks.on_epoch_end(
+                    handle.trial, handle.epochs_trained, handle.last_metrics
+                ):
+                    stopped.append(handle)
+
+        results: List[TrialResult] = []
+        stopped_ids = {handle.trial_id for handle in stopped}
+        for handle in active:
+            result = self._record(handle)
+            if handle.trial_id not in stopped_ids:
+                results.append(result)
+        for handle in stopped:
+            self._retire_handle(handle)
+        return results
+
+    def retire(self, trials: Sequence[Union[TrialConfig, str]]) -> None:
+        """Release trials the searcher is finished with (teardown + callbacks)."""
+        for trial in trials:
+            trial_id = trial if isinstance(trial, str) else trial.trial_id
+            handle = self._handles.get(trial_id)
+            if handle is not None and trial_id not in self._retired:
+                self._retire_handle(handle)
+
+    def finish(self) -> None:
+        """Retire anything the searcher left running (safety net)."""
+        for trial_id in list(self._handles):
+            if trial_id not in self._retired:
+                self._retire_handle(self._handles[trial_id])
+
+    # ------------------------------------------------------------------ #
+    def _record(self, handle: TrialHandle) -> TrialResult:
+        # Annotations only fill gaps: a searched hyperparameter always wins
+        # over whatever the backend derived for the same name.
+        hyperparameters = dict(handle.trial.hyperparameters)
+        for key, value in handle.annotations.items():
+            hyperparameters.setdefault(key, value)
+        # Sequential backends attribute wall time per trial on the handle;
+        # co-scheduling backends leave it at 0 and the tracker's cohort
+        # window (started in run_trials) is the honest elapsed time.
+        wall = handle.wall_seconds if handle.wall_seconds > 0 else None
+        handle.wall_seconds = 0.0
+        result = self.tracker.record(
+            handle.trial_id,
+            hyperparameters,
+            handle.last_metrics,
+            epochs_trained=handle.epochs_trained,
+            wall_seconds=wall,
+        )
+        self._last_result[handle.trial_id] = result
+        return result
+
+    def _retire_handle(self, handle: TrialHandle) -> None:
+        self._retired.add(handle.trial_id)
+        self.backend.teardown(handle)
+        result = self._last_result.get(handle.trial_id)
+        if result is not None:
+            self.callbacks.on_trial_end(result)
+
+
+@dataclass
+class Experiment:
+    """A declarative model-selection experiment (see module docstring).
+
+    ``searcher`` may be a :class:`Searcher` instance or a short name
+    (``"grid"``, ``"random"``, ``"successive-halving"``).  ``backend`` may be
+    left unset and supplied per :meth:`run` call instead — the idiom for
+    simulating an experiment before executing it for real.  ``space`` may be
+    ``None`` only for searchers that bring their own trials
+    (:class:`FixedSearcher`).
+    """
+
+    space: Optional[SearchSpace] = None
+    searcher: Union[Searcher, str] = "grid"
+    backend: Optional[ExecutionBackend] = None
+    objective: str = "loss"
+    mode: str = "min"
+    budget: Budget = field(default_factory=Budget)
+    callbacks: Sequence[Callback] = ()
+    name: str = "experiment"
+
+    def run(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        objective: Optional[str] = None,
+        mode: Optional[str] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+    ) -> SelectionResult:
+        """Execute the experiment; per-call overrides support replaying the
+        same experiment on a different backend (e.g. simulator vs real)."""
+        engine = backend if backend is not None else self.backend
+        if engine is None:
+            raise ConfigurationError(
+                f"experiment {self.name!r} has no backend; pass one to run()"
+            )
+        searcher = (
+            make_searcher(self.searcher) if isinstance(self.searcher, str) else self.searcher
+        )
+        tracker = ExperimentTracker(
+            objective=objective if objective is not None else self.objective,
+            mode=mode if mode is not None else self.mode,
+        )
+        hooks = CallbackList(self.callbacks if callbacks is None else callbacks)
+        runner = TrialRunner(engine, self.space, self.budget, tracker, hooks)
+        hooks.on_experiment_start(self)
+        try:
+            searcher.run(runner)
+        finally:
+            # Even on a mid-search failure, live trial state must reach
+            # backend.teardown and on_trial_end observers.
+            runner.finish()
+        result = tracker.as_result(searcher.method)
+        hooks.on_experiment_end(result)
+        return result

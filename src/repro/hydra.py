@@ -1,6 +1,7 @@
 """Top-level facade: the API a Hydra user would program against.
 
-Two usage modes mirror the two execution backends described in DESIGN.md:
+This module is a thin veneer over the layered API described in ``DESIGN.md``
+(facade → searcher → backend → engine):
 
 * **Simulation** (:meth:`HydraSession.simulate`, :meth:`HydraSession.compare_strategies`)
   — cost-model-driven execution of BERT-Large-scale multi-model workloads on
@@ -8,21 +9,24 @@ Two usage modes mirror the two execution backends described in DESIGN.md:
 * **Real training** (:func:`run_model_selection`) — actually trains a set of
   candidate models on the numpy engine with Hydra-style shard-parallel
   interleaving, and returns the ranked trial results.
+
+For anything richer — grid/random/ASHA searchers, callbacks, early stopping,
+swapping execution engines — declare a :class:`repro.api.Experiment` and
+pick a backend; ``run_model_selection`` itself is implemented that way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.data.dataloader import DataLoader
-from repro.data.dataset import Dataset
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchedulingError
 from repro.models.base import ShardableModel
 from repro.optim.optimizer import Optimizer
 from repro.profiling.cost_model import ModelProfile
-from repro.scheduler.base import ScheduleResult, Strategy
+from repro.scheduler.base import ScheduleResult, Strategy, StrategyOutcome
 from repro.scheduler.hybrid import HybridShardDataParallelStrategy
 from repro.scheduler.model_parallel import ModelParallelStrategy
 from repro.scheduler.policies import get_policy
@@ -30,10 +34,9 @@ from repro.scheduler.shard_parallel import ShardParallelStrategy
 from repro.scheduler.single_device import SingleDeviceStrategy
 from repro.scheduler.task import TrainingJob
 from repro.scheduler.task_parallel import TaskParallelStrategy
-from repro.selection.experiment import ExperimentTracker, SelectionResult
-from repro.sharding.partitioner import make_plan, partition_uniform
+from repro.selection.experiment import SelectionResult, TrialConfig
+from repro.sharding.partitioner import make_plan
 from repro.sharding.plan import ShardingPlan
-from repro.training.sharded_trainer import ShardParallelTrainer
 
 #: fraction of device memory the planner leaves free for workspace/fragmentation
 _MEMORY_HEADROOM = 0.9
@@ -161,20 +164,24 @@ class HydraSession:
         self,
         jobs: Sequence[TrainingJob],
         strategies: Sequence[str] = ("task-parallel", "model-parallel", "shard-parallel"),
-    ) -> Dict[str, ScheduleResult]:
-        """Simulate the same jobs under several strategies (skipping infeasible ones)."""
-        results: Dict[str, ScheduleResult] = {}
+    ) -> Dict[str, StrategyOutcome]:
+        """Simulate the same jobs under several strategies.
+
+        Infeasibility (e.g. classic task parallelism confronted with a
+        larger-than-device model) is a *result* of the comparison, not an
+        error: such strategies come back as a skipped
+        :class:`StrategyOutcome` carrying the reason.
+        """
+        outcomes: Dict[str, StrategyOutcome] = {}
         for name in strategies:
             self.cluster.reset()
             try:
-                results[name] = self.make_strategy(name).schedule(jobs, self.cluster)
-            except Exception as error:  # noqa: BLE001 - infeasibility is a result here
-                from repro.exceptions import SchedulingError
-                if isinstance(error, SchedulingError):
-                    results[name] = None  # type: ignore[assignment]
-                else:
-                    raise
-        return results
+                result = self.make_strategy(name).schedule(jobs, self.cluster)
+            except SchedulingError as error:
+                outcomes[name] = StrategyOutcome(strategy=name, skip_reason=str(error))
+            else:
+                outcomes[name] = StrategyOutcome(strategy=name, result=result)
+        return outcomes
 
     def available_strategies(self) -> List[str]:
         return sorted(_STRATEGIES)
@@ -199,27 +206,28 @@ def run_model_selection(
     ``num_shards`` shards (default: one shard per block, capped at the device
     count) and trained for ``num_epochs`` epochs; the returned
     :class:`SelectionResult` ranks trials by their final-epoch ``objective``.
+
+    This is a facade over :class:`repro.api.Experiment` with a
+    :class:`repro.api.ShardParallelBackend` and a fixed trial list.
     """
+    from repro.api import Budget, Experiment, FixedSearcher, ShardParallelBackend
+
     if not builders:
         raise ConfigurationError("run_model_selection needs at least one model builder")
-    trainer = ShardParallelTrainer(num_devices=num_devices)
-    hyperparameters: Dict[str, Dict[str, object]] = {}
-    for trial_id, builder in builders.items():
-        model, optimizer, loader = builder()
-        shard_count = num_shards
-        if shard_count is None:
-            shard_count = min(model.num_blocks(), num_devices)
-        boundaries = partition_uniform(model.profile(), shard_count)
-        trainer.add_model(model, optimizer, loader, boundaries, model_id=trial_id)
-        hyperparameters[trial_id] = {"model": model.model_name, "num_shards": shard_count}
-
-    reports = trainer.fit(num_epochs)
-    tracker = ExperimentTracker(objective=objective, mode=mode)
-    for trial_id, report in reports.items():
-        tracker.record(
-            trial_id,
-            hyperparameters[trial_id],
-            report.epochs[-1],
-            epochs_trained=num_epochs,
-        )
-    return tracker.as_result("hydra_shard_parallel")
+    trials = [
+        TrialConfig(trial_id=trial_id, hyperparameters={}) for trial_id in builders
+    ]
+    backend = ShardParallelBackend(
+        builder=lambda trial: builders[trial.trial_id](),
+        num_devices=num_devices,
+        num_shards=num_shards,
+    )
+    experiment = Experiment(
+        searcher=FixedSearcher(trials, method="hydra_shard_parallel"),
+        backend=backend,
+        objective=objective,
+        mode=mode,
+        budget=Budget(epochs_per_trial=num_epochs),
+        name="run_model_selection",
+    )
+    return experiment.run()

@@ -56,6 +56,74 @@ class ScheduleResult:
             "peak_memory_bytes": dict(self.trace.peak_memory_bytes),
         }
 
+    def per_model_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-job timing carved out of the shared trace.
+
+        For each scheduled job: when its tasks started and finished
+        (``finish_seconds`` is the job's completion time on the shared
+        cluster, ``span_seconds`` the window it was in flight), how long its
+        tasks occupied devices, and its own sample throughput.  This is what
+        lets a selection backend attribute a multi-model simulation back to
+        individual trials.
+        """
+        metrics: Dict[str, Dict[str, float]] = {}
+        for job in self.jobs:
+            records = self.trace.records_for(model=job.model_id)
+            if not records:
+                metrics[job.model_id] = {
+                    "start_seconds": 0.0, "finish_seconds": 0.0,
+                    "span_seconds": 0.0, "busy_seconds": 0.0,
+                    "throughput_samples_per_second": 0.0,
+                }
+                continue
+            start = min(record.start for record in records)
+            finish = max(record.end for record in records)
+            span = finish - start
+            busy = sum(record.duration for record in records)
+            metrics[job.model_id] = {
+                "start_seconds": start,
+                "finish_seconds": finish,
+                "span_seconds": span,
+                "busy_seconds": busy,
+                "throughput_samples_per_second": (
+                    job.total_samples / span if span > 0 else 0.0
+                ),
+            }
+        return metrics
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Typed result of trying one strategy on a workload.
+
+    Either ``result`` is set (the strategy scheduled the jobs) or
+    ``skip_reason`` explains why it could not — e.g. classic task
+    parallelism confronted with a larger-than-device model.  This replaces
+    the old convention of storing ``None`` in a result dict.
+    """
+
+    strategy: str
+    result: Optional[ScheduleResult] = None
+    skip_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.skip_reason is None):
+            raise ValueError(
+                "StrategyOutcome needs exactly one of result / skip_reason"
+            )
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+    def unwrap(self) -> ScheduleResult:
+        """The schedule result, or a loud error if the strategy was skipped."""
+        if self.result is None:
+            raise RuntimeError(
+                f"strategy {self.strategy!r} was skipped: {self.skip_reason}"
+            )
+        return self.result
+
 
 class Strategy:
     """Base class: a strategy maps jobs onto a cluster and simulates the run."""

@@ -79,7 +79,14 @@ class ExperimentTracker:
         hyperparameters: Dict[str, Any],
         metrics: Dict[str, float],
         epochs_trained: int,
+        wall_seconds: Optional[float] = None,
     ) -> TrialResult:
+        """Record one trial result.
+
+        ``wall_seconds`` overrides the tracker's own clock when the caller
+        has a more precise per-trial attribution (e.g. a sequential backend
+        timing each trial's training calls individually).
+        """
         if self.objective not in metrics:
             raise SearchSpaceError(
                 f"metrics for trial {trial_id!r} lack the objective {self.objective!r}"
@@ -87,6 +94,8 @@ class ExperimentTracker:
         elapsed = 0.0
         if trial_id in self._start_times:
             elapsed = time.monotonic() - self._start_times.pop(trial_id)
+        if wall_seconds is not None:
+            elapsed = wall_seconds
         result = TrialResult(
             trial_id=trial_id,
             hyperparameters=dict(hyperparameters),

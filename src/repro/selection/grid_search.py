@@ -1,10 +1,15 @@
-"""Exhaustive grid search."""
+"""Exhaustive grid search (legacy function shim).
+
+The implementation now lives in :class:`repro.api.searchers.GridSearcher`;
+this function survives for backward compatibility and for the common case of
+searching over a plain callable objective.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.experiment import SelectionResult, TrialConfig
 from repro.selection.search_space import SearchSpace
 
 #: a train function receives (config, num_epochs) and returns a metrics dict
@@ -25,12 +30,15 @@ def grid_search(
     radiologist comparing dozens of configurations): an embarrassingly
     parallel set of independent training jobs.
     """
-    tracker = ExperimentTracker(objective=objective, mode=mode)
-    for index, hyperparameters in enumerate(search_space.grid()):
-        if max_trials is not None and index >= max_trials:
-            break
-        trial = TrialConfig(trial_id=f"grid-{index}", hyperparameters=hyperparameters)
-        tracker.start_trial(trial.trial_id)
-        metrics = train_fn(trial, num_epochs)
-        tracker.record(trial.trial_id, hyperparameters, metrics, epochs_trained=num_epochs)
-    return tracker.as_result("grid_search")
+    from repro.api import Budget, Experiment, FunctionBackend, GridSearcher
+
+    experiment = Experiment(
+        space=search_space,
+        searcher=GridSearcher(max_trials=max_trials),
+        backend=FunctionBackend(train_fn),
+        objective=objective,
+        mode=mode,
+        budget=Budget(epochs_per_trial=num_epochs),
+        name="grid_search",
+    )
+    return experiment.run()

@@ -1,12 +1,13 @@
-"""Random search over a hyper-parameter space."""
+"""Random search over a hyper-parameter space (legacy function shim).
+
+The implementation now lives in :class:`repro.api.searchers.RandomSearcher`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.experiment import SelectionResult
 from repro.selection.grid_search import TrainFn
 from repro.selection.search_space import SearchSpace
 
@@ -21,14 +22,15 @@ def random_search(
     seed: Optional[int] = 0,
 ) -> SelectionResult:
     """Sample ``num_trials`` configurations independently and rank them."""
-    if num_trials <= 0:
-        raise ValueError(f"num_trials must be positive, got {num_trials}")
-    rng = np.random.default_rng(seed)
-    tracker = ExperimentTracker(objective=objective, mode=mode)
-    for index in range(num_trials):
-        hyperparameters = search_space.sample(rng)
-        trial = TrialConfig(trial_id=f"random-{index}", hyperparameters=hyperparameters)
-        tracker.start_trial(trial.trial_id)
-        metrics = train_fn(trial, num_epochs)
-        tracker.record(trial.trial_id, hyperparameters, metrics, epochs_trained=num_epochs)
-    return tracker.as_result("random_search")
+    from repro.api import Budget, Experiment, FunctionBackend, RandomSearcher
+
+    experiment = Experiment(
+        space=search_space,
+        searcher=RandomSearcher(num_trials=num_trials, seed=seed),
+        backend=FunctionBackend(train_fn),
+        objective=objective,
+        mode=mode,
+        budget=Budget(epochs_per_trial=num_epochs),
+        name="random_search",
+    )
+    return experiment.run()

@@ -1,20 +1,18 @@
-"""Successive halving (the core of Hyperband/ASHA-style early stopping).
+"""Successive halving (legacy function shim).
 
 Model-selection systems such as Ray Tune pair task parallelism with early
 stopping; Hydra is agnostic to the stopping rule because it schedules at the
-shard level.  This implementation exists so the examples can demonstrate the
-full selection stack (search + early stopping + shard-parallel training).
+shard level.  The implementation now lives in
+:class:`repro.api.searchers.SuccessiveHalvingSearcher`, which also runs
+against the engine backends; this function keeps the original resumable
+``train_fn`` calling convention.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.exceptions import SearchSpaceError
-from repro.selection.experiment import ExperimentTracker, SelectionResult, TrialConfig
+from repro.selection.experiment import SelectionResult, TrialConfig
 from repro.selection.search_space import SearchSpace
 
 #: resumable train function: (config, num_epochs, previous_state) -> (metrics, state)
@@ -38,43 +36,24 @@ def successive_halving(
     for the same trial on the previous rung (or ``None`` on the first rung)
     and continues training from there for ``num_epochs`` more epochs.
     """
-    if num_trials <= 1:
-        raise SearchSpaceError("successive halving needs at least two trials")
-    if reduction_factor < 2:
-        raise SearchSpaceError(f"reduction_factor must be >= 2, got {reduction_factor}")
-    rng = np.random.default_rng(seed)
-    tracker = ExperimentTracker(objective=objective, mode=mode)
-
-    trials: List[TrialConfig] = [
-        TrialConfig(trial_id=f"sha-{i}", hyperparameters=search_space.sample(rng))
-        for i in range(num_trials)
-    ]
-    states: Dict[str, object] = {trial.trial_id: None for trial in trials}
-    epochs_done: Dict[str, int] = {trial.trial_id: 0 for trial in trials}
-
-    total_rungs = max_rungs if max_rungs is not None else max(
-        1, int(math.floor(math.log(num_trials, reduction_factor)))
+    from repro.api import (
+        Experiment,
+        ResumableFunctionBackend,
+        SuccessiveHalvingSearcher,
     )
-    survivors = list(trials)
-    epochs_this_rung = min_epochs
-    for rung in range(total_rungs + 1):
-        scored = []
-        for trial in survivors:
-            tracker.start_trial(trial.trial_id)
-            metrics, state = train_fn(trial, epochs_this_rung, states[trial.trial_id])
-            states[trial.trial_id] = state
-            epochs_done[trial.trial_id] += epochs_this_rung
-            result = tracker.record(
-                trial.trial_id,
-                trial.hyperparameters,
-                metrics,
-                epochs_trained=epochs_done[trial.trial_id],
-            )
-            scored.append((result.metric(objective), trial))
-        if len(survivors) <= 1 or rung == total_rungs:
-            break
-        scored.sort(key=lambda item: item[0], reverse=(mode == "max"))
-        keep = max(1, len(survivors) // reduction_factor)
-        survivors = [trial for _, trial in scored[:keep]]
-        epochs_this_rung *= reduction_factor
-    return tracker.as_result("successive_halving")
+
+    experiment = Experiment(
+        space=search_space,
+        searcher=SuccessiveHalvingSearcher(
+            num_trials=num_trials,
+            min_epochs=min_epochs,
+            reduction_factor=reduction_factor,
+            max_rungs=max_rungs,
+            seed=seed,
+        ),
+        backend=ResumableFunctionBackend(train_fn),
+        objective=objective,
+        mode=mode,
+        name="successive_halving",
+    )
+    return experiment.run()

@@ -83,10 +83,15 @@ class TestHydraSessionSimulation:
         jobs = [session.make_job(f"bert-{i}", profile, batches_per_epoch=2,
                                  batch_size=32, num_shards=4) for i in range(2)]
         results = session.compare_strategies(jobs)
-        assert results["task-parallel"] is None  # larger-than-memory model
-        assert results["model-parallel"] is not None
-        assert results["shard-parallel"] is not None
-        assert results["shard-parallel"].makespan < results["model-parallel"].makespan
+        # Larger-than-memory model: task parallelism is skipped with a reason.
+        assert not results["task-parallel"].feasible
+        assert results["task-parallel"].skip_reason
+        with pytest.raises(RuntimeError):
+            results["task-parallel"].unwrap()
+        assert results["model-parallel"].feasible
+        assert results["shard-parallel"].feasible
+        shard = results["shard-parallel"].unwrap()
+        assert shard.makespan < results["model-parallel"].unwrap().makespan
 
     def test_available_strategies(self):
         assert "shard-parallel" in HydraSession().available_strategies()
@@ -121,3 +126,8 @@ class TestRunModelSelection:
         assert len(result) == 2
         assert result.best().trial_id == "good-lr"
         assert result.best().metric("loss") < 1.0
+        # Wall time is wired through the tracker on the real-training path.
+        for trial in result.trials:
+            assert trial.wall_seconds > 0.0
+            assert trial.hyperparameters["model"] == "mlp-tiny"
+            assert trial.hyperparameters["num_shards"] == 2

@@ -46,9 +46,9 @@ class TestSimulationPipeline:
             validate_plan(job.plan, GPU_PRESETS["v100-16gb"])
 
         comparison = session.compare_strategies(jobs)
-        shard = comparison["shard-parallel"]
-        model = comparison["model-parallel"]
-        assert comparison["task-parallel"] is None
+        shard = comparison["shard-parallel"].unwrap()
+        model = comparison["model-parallel"].unwrap()
+        assert not comparison["task-parallel"].feasible
         assert shard.makespan < model.makespan
         assert shard.cluster_utilization > model.cluster_utilization
         assert shard.throughput_samples_per_second > model.throughput_samples_per_second
