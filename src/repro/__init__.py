@@ -30,11 +30,13 @@ __all__ = [
 #: names re-exported lazily from the declarative experiment API; kept in
 #: sync with ``repro.api.__all__`` (asserted by tests/test_api.py)
 _API_EXPORTS = (
+    "AsyncTrialRunner",
     "Budget",
     "Callback",
     "CallbackList",
     "CerebroBackend",
     "CohortEngineBackend",
+    "ConcurrentBackend",
     "EarlyStopping",
     "ExecutionBackend",
     "Experiment",
@@ -42,15 +44,22 @@ _API_EXPORTS = (
     "FunctionBackend",
     "GridSearcher",
     "LoggingCallback",
+    "ProcessWorkerPool",
     "RandomSearcher",
     "ResumableFunctionBackend",
+    "RetryPolicy",
     "Searcher",
+    "SerialWorkerPool",
     "ShardParallelBackend",
     "SimulationBackend",
     "SuccessiveHalvingSearcher",
+    "ThreadWorkerPool",
+    "TrialFault",
     "TrialHandle",
     "TrialRunner",
     "TrialTimer",
+    "WorkerPool",
+    "make_pool",
     "make_searcher",
 )
 

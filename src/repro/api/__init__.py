@@ -15,10 +15,24 @@ budget, searcher — and run it on any :class:`ExecutionBackend`:
   (surrogate objectives, tests, legacy ``TrainFn`` shims).
 
 Any searcher composes with any backend; callbacks observe every trial and
-can stop trials early.
+can stop trials early.  The :mod:`~repro.api.runtime` subsystem adds
+concurrent, fault-tolerant trial execution to any backend:
+``Experiment.run(backend=..., workers=N)`` fans each cohort out across a
+:class:`~repro.api.runtime.WorkerPool` (see ``docs/runtime.md``).
 """
 
 from repro.api.backend import CohortEngineBackend, ExecutionBackend, TrialHandle
+from repro.api.runtime import (
+    AsyncTrialRunner,
+    ConcurrentBackend,
+    ProcessWorkerPool,
+    RetryPolicy,
+    SerialWorkerPool,
+    ThreadWorkerPool,
+    TrialFault,
+    WorkerPool,
+    make_pool,
+)
 from repro.api.backends import (
     CerebroBackend,
     FunctionBackend,
@@ -44,11 +58,13 @@ from repro.api.searchers import (
 )
 
 __all__ = [
+    "AsyncTrialRunner",
     "Budget",
     "Callback",
     "CallbackList",
     "CerebroBackend",
     "CohortEngineBackend",
+    "ConcurrentBackend",
     "EarlyStopping",
     "ExecutionBackend",
     "Experiment",
@@ -56,14 +72,21 @@ __all__ = [
     "FunctionBackend",
     "GridSearcher",
     "LoggingCallback",
+    "ProcessWorkerPool",
     "RandomSearcher",
     "ResumableFunctionBackend",
+    "RetryPolicy",
     "Searcher",
+    "SerialWorkerPool",
     "ShardParallelBackend",
     "SimulationBackend",
     "SuccessiveHalvingSearcher",
+    "ThreadWorkerPool",
+    "TrialFault",
     "TrialHandle",
     "TrialRunner",
     "TrialTimer",
+    "WorkerPool",
+    "make_pool",
     "make_searcher",
 ]

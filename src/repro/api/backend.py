@@ -43,6 +43,10 @@ class TrialHandle:
     ``wall_seconds`` accumulates this trial's own training time when the
     backend runs trials sequentially (co-scheduling backends leave it at
     zero and the runner falls back to the cohort's elapsed window).
+    ``failure`` is set by fault-tolerant backends (the concurrent runtime)
+    to a :class:`~repro.api.runtime.runner.TrialFault` when the trial fails
+    terminally; the runner records it as a ``FailedTrial`` and retires it
+    instead of aborting the experiment.
     """
 
     trial: TrialConfig
@@ -51,9 +55,11 @@ class TrialHandle:
     last_metrics: Dict[str, float] = field(default_factory=dict)
     annotations: Dict[str, Any] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    failure: Any = None
 
     @property
     def trial_id(self) -> str:
+        """The wrapped trial's unique id (e.g. ``"grid-0"``)."""
         return self.trial.trial_id
 
 
@@ -67,6 +73,13 @@ class ExecutionBackend:
     #: continue training (required for successive halving and per-epoch
     #: callbacks; one-shot function backends set this to False)
     resumable: bool = True
+
+    #: whether per-trial concurrent dispatch preserves this backend's
+    #: semantics.  False for backends whose *metrics* are a property of the
+    #: whole co-scheduled cohort (the cluster simulator: contention is the
+    #: quantity being measured), which the concurrent runtime must refuse
+    #: to wrap rather than silently change what they report
+    concurrency_safe: bool = True
 
     # ------------------------------------------------------------------ #
     # Protocol

@@ -11,14 +11,22 @@ once per epoch.
 
 Partitioning is seeded, so the per-worker loaders rebuilt for each cohort
 are identical across calls and resumed rungs continue on the same splits.
+
+With ``hop_parallel=True`` the backend owns a thread pool sized to
+``num_workers`` and hands it to every hopper it builds, so each sub-epoch's
+workers train their hosted models *concurrently* — true hop-parallelism,
+numerically identical to serial hopping (each model's update sequence is
+unchanged; see :meth:`CerebroModelHopper.train_epoch`).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.backend import CohortEngineBackend, TrialHandle
+from repro.api.runtime.pool import ThreadWorkerPool, WorkerPool
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
 from repro.models.base import ShardableModel
@@ -39,7 +47,21 @@ class _TrialState:
 
 
 class CerebroBackend(CohortEngineBackend):
-    """Trains trials for real with Cerebro-style model hopping."""
+    """Trains trials for real with Cerebro-style model hopping.
+
+    Example::
+
+        backend = CerebroBackend(dataset, builder=build_model_and_optimizer,
+                                 num_workers=2, hop_parallel=True)
+        try:
+            result = Experiment(space=space, searcher="grid",
+                                backend=backend).run()
+        finally:
+            backend.close()  # releases the hop pool (also runs at GC)
+
+    Raises:
+        ConfigurationError: if ``num_workers`` is not positive.
+    """
 
     name = "cerebro"
     resumable = True
@@ -53,6 +75,7 @@ class CerebroBackend(CohortEngineBackend):
         num_shards: Optional[int] = None,
         shuffle: bool = True,
         seed: int = 0,
+        hop_parallel: bool = False,
     ):
         if num_workers <= 0:
             raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
@@ -63,6 +86,9 @@ class CerebroBackend(CohortEngineBackend):
         self.num_shards = num_shards
         self.shuffle = shuffle
         self.seed = int(seed)
+        self.hop_parallel = bool(hop_parallel)
+        self._hop_pool: Optional[WorkerPool] = None
+        self._hop_pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def prepare(self, trial: TrialConfig) -> TrialHandle:
@@ -77,12 +103,15 @@ class CerebroBackend(CohortEngineBackend):
         return handle
 
     def make_driver(self, handles: Sequence[TrialHandle]) -> CerebroModelHopper:
+        """Build a hopper with every handle's model registered (and, when
+        ``hop_parallel``, the backend's shared worker pool attached)."""
         hopper = CerebroModelHopper(
             self.dataset,
             num_workers=self.num_workers,
             batch_size=self.batch_size,
             shuffle=self.shuffle,
             seed=self.seed,
+            pool=self._pool(),
         )
         for handle in handles:
             state: _TrialState = handle.state
@@ -91,3 +120,34 @@ class CerebroBackend(CohortEngineBackend):
                 model_id=handle.trial_id,
             )
         return hopper
+
+    # ------------------------------------------------------------------ #
+    def _pool(self) -> Optional[WorkerPool]:
+        """The shared hop pool (one per backend, lazily built), or None.
+
+        Locked: under the concurrent runtime two worker threads can reach
+        first use simultaneously, and a double-built pool would leak threads.
+        """
+        if not self.hop_parallel:
+            return None
+        with self._hop_pool_lock:
+            if self._hop_pool is None:
+                self._hop_pool = ThreadWorkerPool(self.num_workers)
+            return self._hop_pool
+
+    def close(self) -> None:
+        """Shut down the hop pool, if one was created.
+
+        Safe to call between runs: the pool is rebuilt lazily on next use.
+        Long-lived processes should call this when done with the backend;
+        garbage collection also triggers it as a backstop.
+        """
+        if self._hop_pool is not None:
+            self._hop_pool.shutdown(wait=False)
+            self._hop_pool = None
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -21,7 +21,18 @@ ResumableTrainFn = Callable[[TrialConfig, int, object], Tuple[Dict[str, float], 
 
 
 class FunctionBackend(ExecutionBackend):
-    """Wraps a one-shot ``TrainFn``; each trial is trained in a single call."""
+    """Wraps a one-shot ``TrainFn``; each trial is trained in a single call.
+
+    One-shot means not resumable: multi-rung searchers (successive halving)
+    reject this backend, and the whole epoch budget arrives in one call.
+
+    Example::
+
+        backend = FunctionBackend(
+            lambda trial, epochs: {"loss": float(trial.get("width")) / epochs}
+        )
+        Experiment(space=space, searcher="grid", backend=backend).run()
+    """
 
     name = "function"
     resumable = False
@@ -34,7 +45,20 @@ class FunctionBackend(ExecutionBackend):
 
 
 class ResumableFunctionBackend(ExecutionBackend):
-    """Wraps a ``ResumableTrainFn``; the opaque state lives on the handle."""
+    """Wraps a ``ResumableTrainFn``; the opaque state lives on the handle.
+
+    The function receives the state it last returned (``None`` on the first
+    call), which makes the backend resumable — eligible for successive
+    halving and per-epoch callbacks.
+
+    Example::
+
+        def train_fn(trial, epochs, state):
+            done = (state or 0) + epochs
+            return {"loss": 1.0 / done}, done
+
+        backend = ResumableFunctionBackend(train_fn)
+    """
 
     name = "resumable-function"
     resumable = True

@@ -40,7 +40,20 @@ class _TrialState:
 
 
 class ShardParallelBackend(CohortEngineBackend):
-    """Trains trials for real with shard-parallel multi-model interleaving."""
+    """Trains trials for real with shard-parallel multi-model interleaving.
+
+    Example::
+
+        def build(trial):  # -> (model, optimizer, loader) on the numpy engine
+            model = FeedForwardNetwork(config_for(trial), seed=0)
+            return model, Adam(model.parameters()), DataLoader(data)
+
+        backend = ShardParallelBackend(builder=build, num_devices=2)
+        Experiment(space=space, searcher="grid", backend=backend).run()
+
+    Raises:
+        ConfigurationError: if ``num_devices`` is not positive.
+    """
 
     name = "shard-parallel"
     resumable = True

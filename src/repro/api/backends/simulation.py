@@ -47,10 +47,27 @@ def registry_profile(trial: TrialConfig, batch_size: int = 1) -> ModelProfile:
 
 
 class SimulationBackend(CohortEngineBackend):
-    """Executes trials on the discrete-event cluster simulator."""
+    """Executes trials on the discrete-event cluster simulator.
+
+    Example::
+
+        backend = SimulationBackend(profile_fn=lambda t: config_for(t).profile(),
+                                    strategy="shard-parallel", batches_per_epoch=2)
+        Experiment(space=space, searcher="grid",
+                   backend=backend, objective="makespan_seconds").run()
+
+    Raises:
+        ConfigurationError: if the strategy name is unknown, or a trial's
+            model cannot be partitioned to fit the simulated devices.
+    """
 
     name = "simulation"
     resumable = True
+    # Cohort contention on the shared simulated cluster IS the measurement
+    # (and simulated time costs no wall clock), so concurrent per-trial
+    # dispatch would change the metrics, not speed anything up.  The
+    # runtime refuses to wrap this backend; run it with workers unset.
+    concurrency_safe = False
 
     def __init__(
         self,

@@ -17,7 +17,21 @@ from repro.utils.logging import get_logger
 
 
 class Callback:
-    """Base class; override any subset of the hooks."""
+    """Base class; override any subset of the hooks.
+
+    Hooks always fire on the experiment's driving thread — never inside a
+    worker — so callbacks need no locking even at ``workers=N``, and the
+    event order is deterministic at any worker count.
+
+    Example::
+
+        class PrintLoss(Callback):
+            def on_epoch_end(self, trial, epoch, metrics):
+                print(trial.trial_id, epoch, metrics.get("loss"))
+
+        Experiment(space=space, searcher="grid", backend=backend,
+                   callbacks=[PrintLoss()]).run()
+    """
 
     def on_experiment_start(self, experiment) -> None:
         """Fired once before the searcher starts emitting trials."""
@@ -39,7 +53,13 @@ class Callback:
 
 
 class CallbackList(Callback):
-    """Fans events out to several callbacks, preserving order."""
+    """Fans events out to several callbacks, preserving order.
+
+    Example::
+
+        hooks = CallbackList([LoggingCallback(), TrialTimer()])
+        hooks.on_trial_start(trial)  # both callbacks observe, in list order
+    """
 
     def __init__(self, callbacks: Iterable[Callback] = ()):
         self.callbacks: List[Callback] = list(callbacks)
@@ -72,7 +92,13 @@ class CallbackList(Callback):
 
 
 class LoggingCallback(Callback):
-    """Logs trial lifecycle events through :mod:`repro.utils.logging`."""
+    """Logs trial lifecycle events through :mod:`repro.utils.logging`.
+
+    Example::
+
+        Experiment(space=space, searcher="grid", backend=backend,
+                   callbacks=[LoggingCallback(every_epoch=True)]).run()
+    """
 
     def __init__(self, logger_name: str = "experiment", every_epoch: bool = False):
         self.logger = get_logger(logger_name)
@@ -111,6 +137,17 @@ class EarlyStopping(Callback):
     in min mode, ``>= threshold`` in max mode).  ``patience`` stops after that
     many consecutive epochs without at least ``min_delta`` improvement.
     Either criterion may be used alone.
+
+    Example::
+
+        stopper = EarlyStopping(monitor="loss", mode="min",
+                                threshold=0.1, patience=3)
+        Experiment(space=space, searcher="grid", backend=backend,
+                   callbacks=[stopper]).run()
+
+    Raises:
+        ValueError: if ``mode`` is not ``"min"``/``"max"`` or neither
+            criterion is given.
     """
 
     def __init__(
@@ -168,7 +205,15 @@ class EarlyStopping(Callback):
 
 
 class TrialTimer(Callback):
-    """Accumulates real wall-clock seconds per trial (prepare to retire)."""
+    """Accumulates real wall-clock seconds per trial (prepare to retire).
+
+    Example::
+
+        timer = TrialTimer()
+        Experiment(space=space, searcher="grid", backend=backend,
+                   callbacks=[timer]).run()
+        print(timer.wall_seconds)  # {"grid-0": 0.42, ...}
+    """
 
     def __init__(self) -> None:
         self.wall_seconds: Dict[str, float] = {}

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.api.backend import ExecutionBackend, TrialHandle
 from repro.api.callbacks import Callback, CallbackList
+from repro.api.runtime.concurrent import ConcurrentBackend
+from repro.api.runtime.runner import RetryPolicy
 from repro.api.searchers import Searcher, make_searcher
 from repro.exceptions import ConfigurationError
 from repro.selection.experiment import (
@@ -44,6 +46,14 @@ class Budget:
     random, fixed lists); multi-rung searchers derive their own per-rung
     budgets.  ``max_trials`` caps how many configurations are tried when the
     searcher does not fix that itself.
+
+    Example::
+
+        Budget(epochs_per_trial=5, max_trials=16)
+
+    Raises:
+        ConfigurationError: if ``epochs_per_trial`` or ``max_trials`` is not
+            positive.
     """
 
     epochs_per_trial: int = 1
@@ -65,6 +75,22 @@ class TrialRunner:
     :meth:`run_trials` with a cohort and an epoch budget, and later
     :meth:`retire` when they are done with a trial.  Handles persist between
     calls, which is what makes successive halving's resumed rungs work.
+
+    The runner is a context manager: leaving the ``with`` block (or calling
+    :meth:`finish`) retires every live trial, so backend ``teardown`` runs
+    even when a searcher or backend raises mid-search.  Within
+    :meth:`run_trials` itself, a cohort that raises is torn down before the
+    exception propagates — trial handles never leak on failure paths.
+
+    Example::
+
+        with TrialRunner(backend, space, budget, tracker, callbacks) as runner:
+            searcher.run(runner)
+
+    Raises:
+        ConfigurationError: from :attr:`space` when a searcher needs a search
+            space but the experiment declared none, and from
+            :meth:`run_trials` on a non-positive epoch budget.
     """
 
     def __init__(
@@ -85,8 +111,18 @@ class TrialRunner:
         self._last_result: Dict[str, TrialResult] = {}
 
     # ------------------------------------------------------------------ #
+    def __enter__(self) -> "TrialRunner":
+        """Enter the runner's scope; trials retire when the scope exits."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Retire every live trial (teardown + callbacks), even on error."""
+        self.finish()
+
+    # ------------------------------------------------------------------ #
     @property
     def space(self) -> SearchSpace:
+        """The experiment's search space (raises when none was declared)."""
         if self._space is None:
             raise ConfigurationError(
                 "this experiment declares no search space, but its searcher "
@@ -96,10 +132,12 @@ class TrialRunner:
 
     @property
     def objective(self) -> str:
+        """The metric name trials are ranked by (e.g. ``"loss"``)."""
         return self.tracker.objective
 
     @property
     def mode(self) -> str:
+        """``"min"`` or ``"max"`` — the direction of the objective."""
         return self.tracker.mode
 
     # ------------------------------------------------------------------ #
@@ -111,6 +149,9 @@ class TrialRunner:
         Already-retired trials are skipped.  Trials stopped early by a
         callback are recorded with the epochs they completed, retired, and
         omitted from the returned list — so a searcher never resumes them.
+        Trials a fault-tolerant backend marks as failed (``handle.failure``)
+        are recorded as :class:`~repro.selection.experiment.FailedTrial`,
+        retired, and likewise omitted — the experiment itself survives.
 
         Resumable backends are stepped one epoch at a time *only when
         callbacks are registered* (they are the only epoch observers);
@@ -118,6 +159,13 @@ class TrialRunner:
         which both avoids per-call setup overhead and preserves the legacy
         ``TrainFn(config, num_epochs)`` chunk contract of the function
         shims.
+
+        If the backend raises (rather than reporting per-trial failures),
+        every handle in the cohort is retired — ``teardown`` runs, releasing
+        models and loaders — before the exception propagates.
+
+        Raises:
+            ConfigurationError: if ``epochs`` is not positive.
         """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
@@ -135,47 +183,70 @@ class TrialRunner:
 
         stopped: List[TrialHandle] = []
         observers = bool(self.callbacks.callbacks)
-        if self.backend.resumable and observers:
-            # Step one epoch at a time so callbacks see every epoch and can
-            # stop individual trials while the rest of the cohort continues.
-            cohort = list(active)
-            for _ in range(epochs):
-                if not cohort:
-                    break
-                metrics_map = self.backend.train_many(cohort, 1)
-                surviving: List[TrialHandle] = []
-                for handle in cohort:
-                    metrics = metrics_map[handle.trial_id]
-                    handle.epochs_trained += 1
-                    handle.last_metrics = dict(metrics)
+        try:
+            if self.backend.resumable and observers:
+                # Step one epoch at a time so callbacks see every epoch and can
+                # stop individual trials while the rest of the cohort continues.
+                cohort = list(active)
+                for _ in range(epochs):
+                    if not cohort:
+                        break
+                    metrics_map = self.backend.train_many(cohort, 1)
+                    surviving: List[TrialHandle] = []
+                    for handle in cohort:
+                        if handle.failure is not None:
+                            continue
+                        metrics = metrics_map[handle.trial_id]
+                        handle.epochs_trained += 1
+                        handle.last_metrics = dict(metrics)
+                        if self.callbacks.on_epoch_end(
+                            handle.trial, handle.epochs_trained, handle.last_metrics
+                        ):
+                            stopped.append(handle)
+                        else:
+                            surviving.append(handle)
+                    cohort = surviving
+            else:
+                # Whole budget in one call: one-shot backends by contract, and
+                # resumable backends with nobody watching individual epochs.  A
+                # stop vote here cannot rewind training, but it still retires
+                # the trial so searchers never resume it.
+                metrics_map = self.backend.train_many(active, epochs)
+                for handle in active:
+                    if handle.failure is not None:
+                        continue
+                    handle.epochs_trained += epochs
+                    handle.last_metrics = dict(metrics_map[handle.trial_id])
                     if self.callbacks.on_epoch_end(
                         handle.trial, handle.epochs_trained, handle.last_metrics
                     ):
                         stopped.append(handle)
-                    else:
-                        surviving.append(handle)
-                cohort = surviving
-        else:
-            # Whole budget in one call: one-shot backends by contract, and
-            # resumable backends with nobody watching individual epochs.  A
-            # stop vote here cannot rewind training, but it still retires
-            # the trial so searchers never resume it.
-            metrics_map = self.backend.train_many(active, epochs)
+        except Exception:
+            # Failure-path discipline: a backend/callback that raises must not
+            # leak the cohort's prepared state (models, loaders, plans).
+            # Best-effort — a teardown error must not mask the original one.
             for handle in active:
-                handle.epochs_trained += epochs
-                handle.last_metrics = dict(metrics_map[handle.trial_id])
-                if self.callbacks.on_epoch_end(
-                    handle.trial, handle.epochs_trained, handle.last_metrics
-                ):
-                    stopped.append(handle)
+                if handle.trial_id not in self._retired:
+                    try:
+                        self._retire_handle(handle)
+                    except Exception:
+                        pass
+            raise
 
         results: List[TrialResult] = []
         stopped_ids = {handle.trial_id for handle in stopped}
+        failed = [handle for handle in active if handle.failure is not None]
+        failed_ids = {handle.trial_id for handle in failed}
         for handle in active:
+            if handle.trial_id in failed_ids:
+                self._record_failure(handle)
+                continue
             result = self._record(handle)
             if handle.trial_id not in stopped_ids:
                 results.append(result)
         for handle in stopped:
+            self._retire_handle(handle)
+        for handle in failed:
             self._retire_handle(handle)
         return results
 
@@ -215,6 +286,22 @@ class TrialRunner:
         self._last_result[handle.trial_id] = result
         return result
 
+    def _record_failure(self, handle: TrialHandle) -> TrialResult:
+        hyperparameters = dict(handle.trial.hyperparameters)
+        for key, value in handle.annotations.items():
+            hyperparameters.setdefault(key, value)
+        fault = handle.failure
+        result = self.tracker.record_failure(
+            handle.trial_id,
+            hyperparameters,
+            error=getattr(fault, "error", str(fault)),
+            epochs_trained=handle.epochs_trained,
+            metrics=handle.last_metrics,
+            timed_out=getattr(fault, "timed_out", False),
+        )
+        self._last_result[handle.trial_id] = result
+        return result
+
     def _retire_handle(self, handle: TrialHandle) -> None:
         self._retired.add(handle.trial_id)
         self.backend.teardown(handle)
@@ -232,7 +319,17 @@ class Experiment:
     left unset and supplied per :meth:`run` call instead — the idiom for
     simulating an experiment before executing it for real.  ``space`` may be
     ``None`` only for searchers that bring their own trials
-    (:class:`FixedSearcher`).
+    (:class:`FixedSearcher`).  ``workers`` > 1 runs each cohort's trials
+    concurrently on a worker pool (see :meth:`run`).
+
+    Example::
+
+        experiment = Experiment(space=space, searcher="grid", objective="loss",
+                                budget=Budget(epochs_per_trial=2))
+        result = experiment.run(backend=backend, workers=4)
+
+    Raises:
+        ConfigurationError: from :meth:`run`, when no backend is available.
     """
 
     space: Optional[SearchSpace] = None
@@ -243,6 +340,7 @@ class Experiment:
     budget: Budget = field(default_factory=Budget)
     callbacks: Sequence[Callback] = ()
     name: str = "experiment"
+    workers: Optional[int] = None
 
     def run(
         self,
@@ -250,13 +348,59 @@ class Experiment:
         objective: Optional[str] = None,
         mode: Optional[str] = None,
         callbacks: Optional[Sequence[Callback]] = None,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> SelectionResult:
-        """Execute the experiment; per-call overrides support replaying the
-        same experiment on a different backend (e.g. simulator vs real)."""
+        """Execute the experiment and return the ranked result.
+
+        Per-call overrides support replaying the same experiment on a
+        different backend (e.g. simulator vs real engine) or objective.
+
+        ``workers`` (per-call, falling back to the experiment's ``workers``
+        field) wraps the backend in a
+        :class:`~repro.api.runtime.ConcurrentBackend` for the duration of the
+        run: every cohort's trials prepare/train/teardown concurrently on a
+        pool of that many slots, and trial failures become ``FailedTrial``
+        records.  ``retry`` configures that runtime's per-trial fault
+        tolerance (retries, backoff, straggler timeout); passing ``retry``
+        alone implies ``workers=1``.  ``workers=1`` uses the inline serial
+        pool — same fault-tolerance semantics, no threads — so results and
+        rankings are deterministic regardless of worker count.  With neither
+        ``workers`` nor ``retry``, the backend runs directly and a raising
+        trial propagates (after the cohort is torn down).
+
+        Raises:
+            ConfigurationError: if neither the experiment nor the call
+                provides a backend; if ``workers``/``retry`` are invalid; or
+                if they are passed alongside a backend that is already a
+                ``ConcurrentBackend`` (configure that backend instead).
+        """
         engine = backend if backend is not None else self.backend
         if engine is None:
             raise ConfigurationError(
                 f"experiment {self.name!r} has no backend; pass one to run()"
+            )
+        worker_count = workers if workers is not None else self.workers
+        if worker_count is not None and worker_count < 1:
+            raise ConfigurationError(f"workers must be positive, got {worker_count}")
+        owned_runtime: Optional[ConcurrentBackend] = None
+        if isinstance(engine, ConcurrentBackend):
+            # The backend brought its own runtime; runtime knobs from the
+            # call *or* the experiment would be silently dropped, so reject
+            # them loudly.
+            if worker_count is not None or retry is not None:
+                raise ConfigurationError(
+                    "backend is already a ConcurrentBackend; configure workers/"
+                    "retry on it at construction instead of passing them to "
+                    "run() or the Experiment"
+                )
+        elif worker_count is not None or retry is not None:
+            # workers=1 still gets the fault-tolerant runtime — on the inline
+            # serial pool — so retry semantics are identical at every count.
+            engine = owned_runtime = ConcurrentBackend(
+                engine,
+                workers=worker_count if worker_count is not None else 1,
+                retry=retry,
             )
         searcher = (
             make_searcher(self.searcher) if isinstance(self.searcher, str) else self.searcher
@@ -266,14 +410,15 @@ class Experiment:
             mode=mode if mode is not None else self.mode,
         )
         hooks = CallbackList(self.callbacks if callbacks is None else callbacks)
-        runner = TrialRunner(engine, self.space, self.budget, tracker, hooks)
         hooks.on_experiment_start(self)
         try:
-            searcher.run(runner)
-        finally:
             # Even on a mid-search failure, live trial state must reach
-            # backend.teardown and on_trial_end observers.
-            runner.finish()
+            # backend.teardown and on_trial_end observers (runner.__exit__).
+            with TrialRunner(engine, self.space, self.budget, tracker, hooks) as runner:
+                searcher.run(runner)
+        finally:
+            if owned_runtime is not None:
+                owned_runtime.close()
         result = tracker.as_result(searcher.method)
         hooks.on_experiment_end(result)
         return result

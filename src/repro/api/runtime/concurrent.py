@@ -1,0 +1,235 @@
+"""``ConcurrentBackend``: concurrent trial execution for any backend.
+
+This wrapper is how an :class:`~repro.api.experiment.Experiment` gains a
+worker pool without touching searchers or backends: it *is* an
+:class:`~repro.api.backend.ExecutionBackend`, so the
+:class:`~repro.api.experiment.TrialRunner` drives it like any other, but
+each cohort call fans out across a :class:`~repro.api.runtime.pool.WorkerPool`:
+
+* ``prepare`` is **deferred**: the outer handle is created instantly and the
+  inner backend's (potentially expensive) ``prepare`` runs inside the worker
+  on first training contact — so a cohort's preparations overlap too;
+* ``train_many`` dispatches one future per trial through an
+  :class:`~repro.api.runtime.runner.AsyncTrialRunner`, with per-trial retry,
+  backoff, and straggler timeout from a
+  :class:`~repro.api.runtime.runner.RetryPolicy`;
+* a trial that still fails is marked on its handle (``handle.failure``) and
+  surfaces as a :class:`~repro.selection.experiment.FailedTrial` — the rest
+  of the cohort and the experiment continue;
+* results are collected in handle order, never completion order, so the
+  :class:`~repro.selection.experiment.SelectionResult` ranking is identical
+  at any worker count.
+
+Semantics note: a cohort-engine backend (shard-parallel, Cerebro) normally
+co-schedules the whole cohort inside one driver.  Wrapped, each trial trains
+in its own single-model driver on its own worker instead.  Each model's own
+update sequence is unchanged — cohort membership never leaks into a model's
+numerics — so losses and rankings match the serial run exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.api.backend import ExecutionBackend, TrialHandle
+from repro.api.runtime.pool import WorkerPool, make_pool
+from repro.api.runtime.runner import AsyncTrialRunner, RetryPolicy, TrialFault
+from repro.exceptions import ConfigurationError
+from repro.selection.experiment import TrialConfig
+
+
+class ConcurrentBackend(ExecutionBackend):
+    """Wraps any :class:`ExecutionBackend` with pooled, fault-tolerant trials.
+
+    ``workers`` sizes an owned thread pool; pass ``pool`` instead to share
+    one across backends (the caller keeps ownership).  ``retry`` configures
+    per-trial fault tolerance.  The wrapper is resumable exactly when the
+    inner backend is, so searcher eligibility (e.g. successive halving) is
+    unchanged.
+
+    Example::
+
+        from repro.api import ConcurrentBackend, FunctionBackend
+
+        backend = ConcurrentBackend(
+            FunctionBackend(lambda trial, epochs: {"loss": 0.0}), workers=4
+        )
+        try:
+            ...  # Experiment(...).run(backend=backend)
+        finally:
+            backend.close()
+
+    (``Experiment.run(..., workers=N)`` builds and closes one of these for
+    you; constructing it by hand is only needed for custom pools/policies.)
+
+    Raises:
+        ConfigurationError: if ``workers`` is not positive, the retry policy
+            is invalid, the inner backend declares
+            ``concurrency_safe = False`` (its metrics depend on cohort
+            co-scheduling — the cluster simulator), or the pool is
+            process-based (trial handles live in shared memory; a child
+            process could neither receive them nor send state back).
+    """
+
+    resumable = True  # overwritten per-instance from the inner backend
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        workers: int = 4,
+        pool: Optional[WorkerPool] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        if not inner.concurrency_safe:
+            raise ConfigurationError(
+                f"backend {inner.name!r} measures whole-cohort co-scheduling; "
+                f"concurrent per-trial dispatch would change its metrics, not "
+                f"accelerate it — run it without workers"
+            )
+        if pool is not None and pool.kind == "process":
+            raise ConfigurationError(
+                "ConcurrentBackend requires an in-process pool (serial/thread): "
+                "trial handles and backend state cannot cross a process "
+                "boundary; use ProcessWorkerPool with AsyncTrialRunner and "
+                "self-contained tasks instead"
+            )
+        self.inner = inner
+        self.name = f"concurrent({inner.name})"
+        self.resumable = inner.resumable
+        if pool is not None:
+            self.pool = pool
+            self._owned_pool: Optional[WorkerPool] = None
+        else:
+            self.pool = make_pool(workers)
+            self._owned_pool = self.pool
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._runner = AsyncTrialRunner(self.pool, self.retry)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def prepare(self, trial: TrialConfig) -> TrialHandle:
+        """Create a lightweight handle; the inner ``prepare`` is deferred.
+
+        The expensive part (building models, plans, loaders) runs inside a
+        worker at this trial's first ``train``/``train_many`` contact, so a
+        whole cohort's preparations overlap instead of queueing on the
+        caller's thread.
+        """
+        return TrialHandle(trial=trial)
+
+    def train(self, handle: TrialHandle, epochs: int) -> Dict[str, float]:
+        """Train one trial through the pool (a cohort of one)."""
+        return self.train_many([handle], epochs)[handle.trial_id]
+
+    def train_many(
+        self, handles: Sequence[TrialHandle], epochs: int
+    ) -> Dict[str, Dict[str, float]]:
+        """Fan the cohort out across the pool; collect metrics in handle order.
+
+        Each trial's task is ``prepare`` (first time only) + ``train`` on the
+        inner backend, retried per the policy.  A trial that exhausts its
+        retries or straggles past the cohort deadline gets ``handle.failure``
+        set to a :class:`TrialFault`, its inner state torn down, and an empty
+        metrics dict here — the :class:`TrialRunner` turns that into a
+        :class:`FailedTrial` record.  Retries re-run the whole task, so a
+        failing ``prepare`` is re-attempted from scratch (at-least-once
+        execution: a trial that mutated state before raising resumes from
+        that state).
+        """
+        live = [handle for handle in handles if handle.failure is None]
+        outcomes = self._runner.run_cohort(
+            lambda handle: self._train_one(handle, epochs), live
+        )
+        metrics: Dict[str, Dict[str, float]] = {}
+        for handle in handles:
+            outcome = outcomes.get(handle.trial_id)
+            if isinstance(outcome, TrialFault) or outcome is None:
+                if isinstance(outcome, TrialFault):
+                    handle.failure = outcome
+                    self._teardown_inner(handle)
+                metrics[handle.trial_id] = {}
+                continue
+            trial_metrics, elapsed = outcome
+            handle.wall_seconds += elapsed
+            inner_handle = handle.state
+            for key, value in inner_handle.annotations.items():
+                handle.annotations.setdefault(key, value)
+            handle.last_metrics = dict(trial_metrics)
+            metrics[handle.trial_id] = dict(trial_metrics)
+        return metrics
+
+    def teardown(self, handle: TrialHandle) -> None:
+        """Release the trial's inner state (inline — never through the pool,
+        which abandoned stragglers may be saturating; ``_teardown_inner`` is
+        thread-safe, so running it on the caller's thread is always safe)."""
+        self._teardown_inner(handle)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the owned pool (no-op when the pool was caller-supplied).
+
+        Shutdown does not wait: an abandoned straggler keeps its thread until
+        it finishes (threads cannot be killed), but its result is already
+        discarded and it must not delay the experiment's return.
+        """
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ConcurrentBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop for the owned pool
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _train_one(
+        self, handle: TrialHandle, epochs: int
+    ) -> Tuple[Dict[str, float], float]:
+        """In-worker task: lazily prepare, then train, timing this trial only."""
+        inner_handle = self._inner_handle(handle)
+        started = time.monotonic()
+        trial_metrics = self.inner.train(inner_handle, epochs)
+        elapsed = time.monotonic() - started
+        inner_handle.epochs_trained += epochs
+        inner_handle.last_metrics = dict(trial_metrics)
+        return dict(trial_metrics), elapsed
+
+    def _inner_handle(self, handle: TrialHandle) -> TrialHandle:
+        """Get or build the inner backend's handle for this outer handle.
+
+        Only one worker task touches a given trial at a time (the runner
+        submits at most one future per handle per cohort), but the lock keeps
+        first-contact preparation safe if a straggler from an abandoned
+        dispatch is still running.
+        """
+        with self._lock:
+            inner_handle = handle.state
+        if inner_handle is None:
+            prepared = self.inner.prepare(handle.trial)
+            with self._lock:
+                if handle.state is None:
+                    handle.state = prepared
+                inner_handle = handle.state
+        return inner_handle
+
+    def _teardown_inner(self, handle: TrialHandle) -> None:
+        """Best-effort inner teardown; never raises (used on failure paths)."""
+        with self._lock:
+            inner_handle = handle.state
+            handle.state = None
+        if inner_handle is None:
+            return
+        try:
+            self.inner.teardown(inner_handle)
+        except Exception:  # noqa: BLE001 - teardown must not mask the fault
+            pass

@@ -1,0 +1,211 @@
+"""Worker pools: the execution substrate of the concurrent runtime.
+
+A :class:`WorkerPool` is a thin, uniform veneer over
+:mod:`concurrent.futures` executors: ``submit`` a callable, get a
+:class:`~concurrent.futures.Future` back.  Three implementations cover the
+practical spectrum:
+
+* :class:`SerialWorkerPool` — runs the callable inline and returns an
+  already-completed future.  Zero threads, zero nondeterminism; the
+  ``workers=1`` baseline and the pool used to debug scheduling issues.
+* :class:`ThreadWorkerPool` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The default for trial execution: the numpy engine releases the GIL inside
+  large array ops, and simulated / I/O-bound trials overlap perfectly.
+* :class:`ProcessWorkerPool` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  for CPU-bound, *picklable* work.  Trial handles that hold live models are
+  generally not picklable, so this pool suits pure-function workloads
+  (surrogate objectives, cost-model evaluations) rather than engine
+  backends.
+
+Pools are context managers; :func:`make_pool` is the one-stop factory the
+rest of the runtime uses.
+
+Example::
+
+    from repro.api.runtime import make_pool
+
+    with make_pool(4) as pool:
+        futures = [pool.submit(job, index) for index in range(8)]
+        results = [future.result() for future in futures]
+
+This module deliberately imports nothing from the rest of ``repro.api`` so
+lower layers (e.g. the Cerebro hopper) can accept a pool without creating
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+
+class WorkerPool:
+    """Protocol every pool implements: ``submit`` work, ``shutdown`` when done.
+
+    Subclasses set :attr:`size` (the number of concurrent slots) and
+    implement :meth:`submit`.  Pools are reusable across cohorts and
+    experiments; shut them down once, at the end of their life.
+
+    Example::
+
+        pool = ThreadWorkerPool(2)
+        try:
+            future = pool.submit(sum, [1, 2, 3])
+            assert future.result() == 6
+        finally:
+            pool.shutdown()
+
+    Raises:
+        ConfigurationError: from concrete constructors, when ``size`` is not
+            positive.
+    """
+
+    #: number of tasks the pool runs concurrently
+    size: int = 1
+
+    #: short name used in reports and error messages
+    kind: str = "pool"
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` and return its future."""
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the pool's workers; no further ``submit`` calls allowed."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.size})"
+
+
+class SerialWorkerPool(WorkerPool):
+    """Runs every task inline, in submission order, on the caller's thread.
+
+    ``submit`` executes the callable immediately and returns a future that
+    is already resolved (or already carries the exception).  Useful as the
+    deterministic ``workers=1`` degenerate case and in tests: concurrency
+    machinery runs unchanged, with no actual concurrency.
+
+    Example::
+
+        pool = SerialWorkerPool()
+        assert pool.submit(len, "abc").result() == 3
+    """
+
+    size = 1
+    kind = "serial"
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Run ``fn`` now; the returned future is already completed."""
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(error)
+        return future
+
+
+class _ExecutorPool(WorkerPool):
+    """Shared shape for pools backed by a ``concurrent.futures`` executor."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ConfigurationError(f"pool size must be positive, got {size}")
+        self.size = int(size)
+        self._executor = self._make_executor()
+
+    def _make_executor(self):
+        raise NotImplementedError
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn`` on the executor and return its future."""
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the executor down; pending tasks finish when ``wait`` is True."""
+        self._executor.shutdown(wait=wait)
+
+
+class ThreadWorkerPool(_ExecutorPool):
+    """A thread-backed pool — the default trial-execution substrate.
+
+    Threads share the interpreter, so live models and loaders need no
+    pickling, and the numpy engine's large array ops release the GIL.
+
+    Example::
+
+        with ThreadWorkerPool(4) as pool:
+            assert pool.submit(max, 1, 2).result() == 2
+
+    Raises:
+        ConfigurationError: if ``size`` is not positive.
+    """
+
+    kind = "thread"
+
+    def _make_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.size, thread_name_prefix="repro-worker")
+
+
+class ProcessWorkerPool(_ExecutorPool):
+    """A process-backed pool for CPU-bound, picklable workloads.
+
+    Each task (callable, arguments, and result) must pickle.  Engine-backend
+    trial handles hold live models and usually do not — use this pool for
+    function backends whose train functions are module-level callables.
+
+    Example::
+
+        with ProcessWorkerPool(2) as pool:
+            assert pool.submit(abs, -3).result() == 3
+
+    Raises:
+        ConfigurationError: if ``size`` is not positive.
+    """
+
+    kind = "process"
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.size)
+
+
+_POOL_KINDS = {
+    "serial": SerialWorkerPool,
+    "thread": ThreadWorkerPool,
+    "process": ProcessWorkerPool,
+}
+
+
+def make_pool(workers: int = 1, kind: str = "thread") -> WorkerPool:
+    """Build a pool with ``workers`` slots.
+
+    ``workers=1`` always returns a :class:`SerialWorkerPool` (whatever
+    ``kind`` says): one slot admits no concurrency, and inline execution is
+    strictly more deterministic.
+
+    Example::
+
+        assert make_pool(1).kind == "serial"
+        assert make_pool(4).kind == "thread"
+        assert make_pool(2, kind="process").kind == "process"
+
+    Raises:
+        ConfigurationError: if ``workers`` is not positive or ``kind`` is
+            unknown.
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    if kind not in _POOL_KINDS:
+        raise ConfigurationError(
+            f"unknown pool kind {kind!r}; available: {sorted(_POOL_KINDS)}"
+        )
+    if workers == 1:
+        return SerialWorkerPool()
+    return _POOL_KINDS[kind](workers)

@@ -25,7 +25,17 @@ from repro.selection.experiment import TrialConfig
 
 
 class Searcher:
-    """Base class: emit trials into a runner and react to their results."""
+    """Base class: emit trials into a runner and react to their results.
+
+    Example (a trivial custom searcher)::
+
+        class OneTrial(Searcher):
+            method = "one"
+            def run(self, session):
+                trial = TrialConfig("only", {"width": 16})
+                session.run_trials([trial], session.budget.epochs_per_trial)
+                session.retire([trial])
+    """
 
     #: recorded as ``SelectionResult.method``
     method: str = "searcher"
@@ -36,7 +46,16 @@ class Searcher:
 
 
 class FixedSearcher(Searcher):
-    """Runs a caller-supplied list of trials once, with the full epoch budget."""
+    """Runs a caller-supplied list of trials once, with the full epoch budget.
+
+    Example::
+
+        trials = [TrialConfig("a", {"width": 16}), TrialConfig("b", {"width": 32})]
+        Experiment(searcher=FixedSearcher(trials), backend=backend).run()
+
+    Raises:
+        SearchSpaceError: if ``trials`` is empty.
+    """
 
     method = "fixed"
 
@@ -58,7 +77,16 @@ class GridSearcher(Searcher):
     This is the workload shape the paper's motivating example describes (a
     radiologist comparing dozens of configurations): an embarrassingly
     parallel set of independent training jobs — which is exactly what the
-    shard-parallel and Cerebro backends co-schedule as one cohort.
+    shard-parallel and Cerebro backends co-schedule as one cohort, and what
+    ``Experiment.run(workers=N)`` spreads across the worker pool.
+
+    Example::
+
+        Experiment(space=space, searcher=GridSearcher(), backend=backend).run()
+
+    Raises:
+        ConfigurationError: at run time, when the experiment has no search
+            space to enumerate.
     """
 
     method = "grid_search"
@@ -80,7 +108,16 @@ class GridSearcher(Searcher):
 
 
 class RandomSearcher(Searcher):
-    """Independently samples ``num_trials`` configurations from the space."""
+    """Independently samples ``num_trials`` configurations from the space.
+
+    Example::
+
+        Experiment(space=space, searcher=RandomSearcher(num_trials=8, seed=0),
+                   backend=backend).run()
+
+    Raises:
+        ValueError: if ``num_trials`` is not positive.
+    """
 
     method = "random_search"
 
@@ -110,6 +147,17 @@ class SuccessiveHalvingSearcher(Searcher):
     ``1 - 1/reduction_factor`` are culled and survivors continue with a
     ``reduction_factor``-times larger budget.  Requires a resumable backend
     (every built-in engine backend is; the plain function backend is not).
+
+    Example::
+
+        searcher = SuccessiveHalvingSearcher(num_trials=8, min_epochs=1,
+                                             reduction_factor=2, seed=0)
+        Experiment(space=space, searcher=searcher, backend=backend).run()
+
+    Raises:
+        SearchSpaceError: if fewer than two trials are requested, the
+            reduction factor is below 2, or (at run time) the backend cannot
+            resume trials.
     """
 
     method = "successive_halving"
@@ -185,7 +233,15 @@ _SEARCHERS: Dict[str, type] = {
 
 
 def make_searcher(name: str, **kwargs) -> Searcher:
-    """Instantiate a searcher by short name (``grid``/``random``/``sha``...)."""
+    """Instantiate a searcher by short name (``grid``/``random``/``sha``...).
+
+    Example::
+
+        assert make_searcher("grid").method == "grid_search"
+
+    Raises:
+        SearchSpaceError: if ``name`` is not a registered searcher.
+    """
     key = name.lower()
     if key not in _SEARCHERS:
         raise SearchSpaceError(

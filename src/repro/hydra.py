@@ -198,6 +198,7 @@ def run_model_selection(
     num_shards: Optional[int] = None,
     objective: str = "loss",
     mode: str = "min",
+    workers: Optional[int] = None,
 ) -> SelectionResult:
     """Really train a set of candidate models with shard-parallel interleaving.
 
@@ -206,6 +207,12 @@ def run_model_selection(
     ``num_shards`` shards (default: one shard per block, capped at the device
     count) and trained for ``num_epochs`` epochs; the returned
     :class:`SelectionResult` ranks trials by their final-epoch ``objective``.
+
+    ``workers`` > 1 trains the candidates concurrently on a worker pool (each
+    in its own single-model trainer) instead of interleaving them in one
+    shared trainer; rankings are identical either way.  A trial that raises
+    becomes a :class:`~repro.selection.experiment.FailedTrial` in the result
+    rather than aborting the run.
 
     This is a facade over :class:`repro.api.Experiment` with a
     :class:`repro.api.ShardParallelBackend` and a fixed trial list.
@@ -230,4 +237,4 @@ def run_model_selection(
         budget=Budget(epochs_per_trial=num_epochs),
         name="run_model_selection",
     )
-    return experiment.run()
+    return experiment.run(workers=workers)

@@ -1,7 +1,13 @@
 """Model selection: search spaces, search drivers, and Cerebro-style hopping."""
 
 from repro.selection.search_space import Choice, Uniform, LogUniform, SearchSpace
-from repro.selection.experiment import TrialConfig, TrialResult, SelectionResult, ExperimentTracker
+from repro.selection.experiment import (
+    ExperimentTracker,
+    FailedTrial,
+    SelectionResult,
+    TrialConfig,
+    TrialResult,
+)
 from repro.selection.grid_search import grid_search
 from repro.selection.random_search import random_search
 from repro.selection.successive_halving import successive_halving
@@ -14,6 +20,7 @@ __all__ = [
     "SearchSpace",
     "TrialConfig",
     "TrialResult",
+    "FailedTrial",
     "SelectionResult",
     "ExperimentTracker",
     "grid_search",

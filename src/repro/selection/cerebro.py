@@ -43,6 +43,7 @@ class CerebroModelHopper:
         batch_size: int = 32,
         shuffle: bool = True,
         seed: int = 0,
+        pool=None,
     ):
         if num_workers <= 0:
             raise SchedulingError("num_workers must be positive")
@@ -54,6 +55,11 @@ class CerebroModelHopper:
             for index, partition in enumerate(self.partitions)
         ]
         self._slots: List[_HopperSlot] = []
+        # Optional worker pool (anything with submit(fn, ...) -> Future, e.g.
+        # repro.api.runtime.WorkerPool).  When set, each sub-epoch's per-worker
+        # queues run concurrently — true hop-parallelism: data-parallel workers
+        # each training their currently-hosted model at the same time.
+        self.pool = pool
 
     def add_model(
         self,
@@ -97,18 +103,47 @@ class CerebroModelHopper:
             schedule.append(assignments)
         return schedule
 
+    def _train_assignment(self, model_index: int, worker_index: int, epoch: int) -> None:
+        """Train one hopped model on one worker's partition for one sub-epoch."""
+        slot = self._slots[model_index]
+        loader = self.loaders[worker_index]
+        loader.set_epoch(epoch)
+        for batch in loader:
+            loss = slot.executor.train_step(batch, slot.optimizer)
+            slot.tracker.update(loss=loss)
+
+    def _train_worker_queue(
+        self, worker_index: int, model_indices: Sequence[int], epoch: int
+    ) -> None:
+        """Run one worker's sub-epoch queue in model order (loader stays
+        single-threaded, and each model's update order matches the serial
+        hopper exactly — parallel hopping is numerically identical)."""
+        for model_index in model_indices:
+            self._train_assignment(model_index, worker_index, epoch)
+
     def train_epoch(self, epoch: int = 0) -> Dict[str, Dict[str, float]]:
-        """One full epoch: every model visits every partition exactly once."""
+        """One full epoch: every model visits every partition exactly once.
+
+        With a ``pool``, the workers of each sub-epoch train concurrently;
+        sub-epochs remain barriers (a model must leave a worker before it can
+        hop to the next), matching Cerebro's execution model.
+        """
         if not self._slots:
             raise SchedulingError("no models registered")
         for assignments in self.hop_schedule(epoch):
-            for model_index, worker_index in assignments:
-                slot = self._slots[model_index]
-                loader = self.loaders[worker_index]
-                loader.set_epoch(epoch)
-                for batch in loader:
-                    loss = slot.executor.train_step(batch, slot.optimizer)
-                    slot.tracker.update(loss=loss)
+            if self.pool is None:
+                for model_index, worker_index in assignments:
+                    self._train_assignment(model_index, worker_index, epoch)
+            else:
+                queues: Dict[int, List[int]] = {}
+                for model_index, worker_index in assignments:
+                    queues.setdefault(worker_index, []).append(model_index)
+                futures = [
+                    self.pool.submit(self._train_worker_queue, worker_index, queue, epoch)
+                    for worker_index, queue in sorted(queues.items())
+                ]
+                for future in futures:
+                    future.result()
         results: Dict[str, Dict[str, float]] = {}
         for slot in self._slots:
             metrics = slot.tracker.end_epoch()

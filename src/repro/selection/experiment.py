@@ -37,6 +37,21 @@ class TrialResult:
 
 
 @dataclass
+class FailedTrial(TrialResult):
+    """A trial that failed terminally (exception or straggler timeout).
+
+    Failed trials stay in the :class:`SelectionResult` trial list — the
+    experiment survives them — but are excluded from :meth:`SelectionResult.ranked`
+    and :meth:`SelectionResult.best`.  ``metrics`` holds the last metrics the
+    trial reported before failing (possibly empty), and ``error`` the
+    stringified cause.
+    """
+
+    error: str = ""
+    timed_out: bool = False
+
+
+@dataclass
 class SelectionResult:
     """Results of a whole selection run."""
 
@@ -45,15 +60,27 @@ class SelectionResult:
     mode: str
     trials: List[TrialResult] = field(default_factory=list)
 
+    def succeeded(self) -> List[TrialResult]:
+        """The trials that completed (everything except :class:`FailedTrial`)."""
+        return [t for t in self.trials if not isinstance(t, FailedTrial)]
+
+    @property
+    def failures(self) -> List["FailedTrial"]:
+        """The trials that failed terminally, in recording order."""
+        return [t for t in self.trials if isinstance(t, FailedTrial)]
+
     def best(self) -> TrialResult:
-        if not self.trials:
-            raise SearchSpaceError("selection produced no trials")
+        succeeded = self.succeeded()
+        if not succeeded:
+            raise SearchSpaceError("selection produced no successful trials")
         reverse = self.mode == "max"
-        return sorted(self.trials, key=lambda t: t.metric(self.objective), reverse=reverse)[0]
+        return sorted(succeeded, key=lambda t: t.metric(self.objective), reverse=reverse)[0]
 
     def ranked(self) -> List[TrialResult]:
         reverse = self.mode == "max"
-        return sorted(self.trials, key=lambda t: t.metric(self.objective), reverse=reverse)
+        return sorted(
+            self.succeeded(), key=lambda t: t.metric(self.objective), reverse=reverse
+        )
 
     def __len__(self) -> int:
         return len(self.trials)
@@ -102,6 +129,31 @@ class ExperimentTracker:
             metrics=dict(metrics),
             epochs_trained=epochs_trained,
             wall_seconds=elapsed,
+        )
+        self.trials.append(result)
+        return result
+
+    def record_failure(
+        self,
+        trial_id: str,
+        hyperparameters: Dict[str, Any],
+        error: str,
+        epochs_trained: int = 0,
+        metrics: Optional[Dict[str, float]] = None,
+        timed_out: bool = False,
+    ) -> "FailedTrial":
+        """Record a terminally-failed trial (kept in the run, never ranked)."""
+        elapsed = 0.0
+        if trial_id in self._start_times:
+            elapsed = time.monotonic() - self._start_times.pop(trial_id)
+        result = FailedTrial(
+            trial_id=trial_id,
+            hyperparameters=dict(hyperparameters),
+            metrics=dict(metrics or {}),
+            epochs_trained=epochs_trained,
+            wall_seconds=elapsed,
+            error=error,
+            timed_out=timed_out,
         )
         self.trials.append(result)
         return result

@@ -1,0 +1,674 @@
+"""Tests for the concurrent runtime: pools, retries, faults, determinism.
+
+Covers the ``repro.api.runtime`` subsystem (WorkerPool / AsyncTrialRunner /
+ConcurrentBackend), the FailedTrial fault-tolerance path through the
+TrialRunner, teardown discipline on failure paths, and callback/early-stop
+semantics under concurrency.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AsyncTrialRunner,
+    Budget,
+    Callback,
+    CallbackList,
+    CerebroBackend,
+    ConcurrentBackend,
+    Experiment,
+    FunctionBackend,
+    GridSearcher,
+    ResumableFunctionBackend,
+    RetryPolicy,
+    SerialWorkerPool,
+    ShardParallelBackend,
+    SuccessiveHalvingSearcher,
+    ThreadWorkerPool,
+    TrialFault,
+    TrialRunner,
+    make_pool,
+)
+from repro.data import DataLoader, make_classification
+from repro.exceptions import ConfigurationError
+from repro.models import FeedForwardConfig, FeedForwardNetwork
+from repro.optim import Adam
+from repro.selection import ExperimentTracker, FailedTrial, SearchSpace, TrialConfig
+
+DATASET = make_classification(
+    num_samples=64, num_features=8, num_classes=3, class_separation=2.0,
+    rng=np.random.default_rng(0),
+)
+
+
+def _build_trainable(trial):
+    width = int(trial.get("width", 16))
+    config = FeedForwardConfig(input_dim=8, hidden_dims=(width,), num_classes=3)
+    model = FeedForwardNetwork(config, seed=0)
+    optimizer = Adam(model.parameters(), lr=float(trial.get("lr", 1e-2)))
+    loader = DataLoader(DATASET, batch_size=16, shuffle=True, seed=0)
+    return model, optimizer, loader
+
+
+def _build_hoppable(trial):
+    model, optimizer, _ = _build_trainable(trial)
+    return model, optimizer
+
+
+# --------------------------------------------------------------------- #
+# Worker pools
+# --------------------------------------------------------------------- #
+class TestWorkerPools:
+    def test_make_pool_one_worker_is_serial(self):
+        assert make_pool(1).kind == "serial"
+        assert make_pool(1, kind="process").kind == "serial"
+
+    def test_make_pool_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_pool(0)
+        with pytest.raises(ConfigurationError):
+            make_pool(2, kind="fiber")
+        with pytest.raises(ConfigurationError):
+            ThreadWorkerPool(-1)
+
+    def test_serial_pool_runs_inline_and_captures_exceptions(self):
+        pool = SerialWorkerPool()
+        assert pool.submit(lambda: 42).result() == 42
+        future = pool.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result()
+
+    def test_thread_pool_actually_overlaps(self):
+        with make_pool(4) as pool:
+            started = time.monotonic()
+            futures = [pool.submit(time.sleep, 0.05) for _ in range(4)]
+            for future in futures:
+                future.result()
+            elapsed = time.monotonic() - started
+        assert elapsed < 4 * 0.05  # four sleeps overlapped, not queued
+
+    def test_pool_context_manager_shuts_down(self):
+        with make_pool(2) as pool:
+            assert pool.submit(abs, -1).result() == 1
+        with pytest.raises(RuntimeError):
+            pool.submit(abs, -1)
+
+
+# --------------------------------------------------------------------- #
+# Retry policy + async runner
+# --------------------------------------------------------------------- #
+class TestAsyncTrialRunner:
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_seconds=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_seconds=0)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=0.1, backoff_multiplier=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_flaky_task_retries_then_succeeds(self):
+        attempts = {}
+
+        def task(handle):
+            attempts[handle.trial_id] = attempts.get(handle.trial_id, 0) + 1
+            if attempts[handle.trial_id] < 2:
+                raise RuntimeError("transient")
+            return "ok"
+
+        runner = AsyncTrialRunner(
+            make_pool(2), RetryPolicy(max_retries=2, backoff_seconds=0.0)
+        )
+        handles = [TrialConfig(trial_id=f"t{i}", hyperparameters={}) for i in range(3)]
+        outcomes = runner.run_cohort(task, handles)
+        assert all(outcome == "ok" for outcome in outcomes.values())
+        assert all(count == 2 for count in attempts.values())
+
+    def test_exhausted_retries_become_fault_not_exception(self):
+        def task(handle):
+            raise ValueError("permanent")
+
+        runner = AsyncTrialRunner(
+            make_pool(2), RetryPolicy(max_retries=1, backoff_seconds=0.0)
+        )
+        handles = [TrialConfig(trial_id="t0", hyperparameters={})]
+        outcomes = runner.run_cohort(task, handles)
+        fault = outcomes["t0"]
+        assert isinstance(fault, TrialFault)
+        assert "permanent" in fault.error and fault.attempts == 2
+        assert not fault.timed_out
+
+    def test_straggler_deadline_faults_without_blocking_cohort(self):
+        def task(handle):
+            if handle.trial_id == "slow":
+                time.sleep(0.5)
+            return "ok"
+
+        runner = AsyncTrialRunner(make_pool(4), RetryPolicy(timeout_seconds=0.1))
+        handles = [
+            TrialConfig(trial_id=name, hyperparameters={})
+            for name in ("a", "slow", "b")
+        ]
+        started = time.monotonic()
+        outcomes = runner.run_cohort(task, handles)
+        assert time.monotonic() - started < 0.4  # did not wait out the straggler
+        assert outcomes["a"] == "ok" and outcomes["b"] == "ok"
+        assert isinstance(outcomes["slow"], TrialFault) and outcomes["slow"].timed_out
+
+    def test_outcomes_keyed_in_handle_order(self):
+        def task(handle):
+            time.sleep(0.05 if handle.trial_id == "first" else 0.0)
+            return handle.trial_id
+
+        runner = AsyncTrialRunner(make_pool(2))
+        handles = [
+            TrialConfig(trial_id=name, hyperparameters={}) for name in ("first", "second")
+        ]
+        outcomes = runner.run_cohort(task, handles)
+        # "second" completes first, but the map is in handle order.
+        assert list(outcomes) == ["first", "second"]
+
+
+# --------------------------------------------------------------------- #
+# ConcurrentBackend through the Experiment API
+# --------------------------------------------------------------------- #
+class TestConcurrentBackend:
+    def test_wraps_resumability_of_inner_backend(self):
+        one_shot = ConcurrentBackend(FunctionBackend(lambda t, e: {"loss": 0.0}), workers=2)
+        resumable = ConcurrentBackend(
+            ResumableFunctionBackend(lambda t, e, s: ({"loss": 0.0}, s)), workers=2
+        )
+        try:
+            assert not one_shot.resumable
+            assert resumable.resumable
+            assert one_shot.name == "concurrent(function)"
+        finally:
+            one_shot.close()
+            resumable.close()
+
+    def test_identical_ranking_serial_vs_pooled_real_training(self):
+        experiment = Experiment(
+            space=SearchSpace({"width": [16, 32], "lr": [1e-2, 1e-3]}),
+            searcher="grid",
+            objective="loss",
+            budget=Budget(epochs_per_trial=2),
+        )
+        serial = experiment.run(
+            backend=ShardParallelBackend(builder=_build_trainable, num_devices=2)
+        )
+        pooled = experiment.run(
+            backend=ShardParallelBackend(builder=_build_trainable, num_devices=2),
+            workers=4,
+        )
+        # Bit-identical losses: each model's own update sequence is unchanged.
+        assert [t.metrics for t in serial.trials] == [t.metrics for t in pooled.trials]
+        assert [t.trial_id for t in serial.ranked()] == [
+            t.trial_id for t in pooled.ranked()
+        ]
+
+    def test_failed_trial_recorded_not_raised(self):
+        def boom(trial, epochs):
+            if trial.get("x") == 2:
+                raise RuntimeError("engine crashed")
+            return {"loss": float(trial.get("x"))}
+
+        result = Experiment(
+            space=SearchSpace({"x": [1, 2, 3]}), searcher="grid", objective="loss",
+        ).run(backend=FunctionBackend(boom), workers=2)
+        assert len(result) == 3  # failure kept in the trial list
+        failures = result.failures
+        assert len(failures) == 1 and isinstance(failures[0], FailedTrial)
+        assert failures[0].trial_id == "grid-1"
+        assert "engine crashed" in failures[0].error
+        # Ranking and best() are over the survivors only.
+        assert [t.trial_id for t in result.ranked()] == ["grid-0", "grid-2"]
+        assert result.best().trial_id == "grid-0"
+
+    def test_retries_recover_transient_failures(self):
+        attempts = {}
+
+        def flaky(trial, epochs):
+            attempts[trial.trial_id] = attempts.get(trial.trial_id, 0) + 1
+            if attempts[trial.trial_id] == 1:
+                raise RuntimeError("transient")
+            return {"loss": 0.0}
+
+        result = Experiment(
+            space=SearchSpace({"x": [1, 2]}), searcher="grid", objective="loss",
+        ).run(
+            backend=FunctionBackend(flaky),
+            workers=2,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+        )
+        assert not result.failures
+        assert all(count == 2 for count in attempts.values())
+
+    def test_failed_trial_not_resumed_by_multirung_searcher(self):
+        def boom(trial, epochs, state):
+            if trial.trial_id == "sha-0":
+                raise RuntimeError("dead on arrival")
+            epochs_done = (state or 0) + epochs
+            return {"loss": 1.0 / epochs_done}, epochs_done
+
+        result = Experiment(
+            space=SearchSpace({"x": [1, 2, 3, 4]}),
+            searcher=SuccessiveHalvingSearcher(num_trials=4, seed=0),
+            objective="loss",
+        ).run(backend=ResumableFunctionBackend(boom), workers=2)
+        failed = [t.trial_id for t in result.failures]
+        assert failed.count("sha-0") == 1  # failed once, never retried in later rungs
+        assert result.best().trial_id != "sha-0"
+
+    def test_deferred_prepare_runs_in_workers_and_overlaps(self):
+        prepare_threads = []
+
+        def slow_build(trial):
+            prepare_threads.append(threading.get_ident())
+            time.sleep(0.05)
+            return _build_trainable(trial)
+
+        backend = ShardParallelBackend(builder=slow_build, num_devices=2)
+        started = time.monotonic()
+        result = Experiment(
+            space=SearchSpace({"width": [16, 32], "lr": [1e-2, 1e-3]}),
+            searcher="grid",
+            objective="loss",
+        ).run(backend=backend, workers=4)
+        elapsed = time.monotonic() - started
+        assert len(result) == 4
+        # Four 0.05s prepares off the caller's thread, overlapped.
+        assert threading.get_ident() not in prepare_threads
+        assert elapsed < 4 * 0.05 + 1.0
+
+    def test_inner_state_torn_down_after_run(self):
+        torn_down = []
+
+        class _Tracking(FunctionBackend):
+            def teardown(self, handle):
+                torn_down.append(handle.trial_id)
+                super().teardown(handle)
+
+        Experiment(
+            space=SearchSpace({"x": [1, 2]}), searcher="grid", objective="loss",
+        ).run(backend=_Tracking(lambda t, e: {"loss": 0.0}), workers=2)
+        assert sorted(torn_down) == ["grid-0", "grid-1"]
+
+    def test_failed_trial_inner_state_torn_down(self):
+        torn_down = []
+
+        class _Tracking(FunctionBackend):
+            def teardown(self, handle):
+                torn_down.append(handle.trial_id)
+                super().teardown(handle)
+
+        def boom(trial, epochs):
+            raise RuntimeError("always fails")
+
+        result = Experiment(
+            space=SearchSpace({"x": [1]}), searcher="grid", objective="loss",
+        ).run(backend=_Tracking(boom), workers=2)
+        assert [t.trial_id for t in result.failures] == ["grid-0"]
+        assert torn_down == ["grid-0"]
+
+    def test_caller_supplied_pool_is_not_shut_down(self):
+        pool = ThreadWorkerPool(2)
+        try:
+            backend = ConcurrentBackend(
+                FunctionBackend(lambda t, e: {"loss": 0.0}), pool=pool
+            )
+            Experiment(
+                space=SearchSpace({"x": [1]}), searcher="grid", objective="loss",
+            ).run(backend=backend)
+            backend.close()  # no-op: the pool belongs to the caller
+            assert pool.submit(abs, -5).result() == 5
+        finally:
+            pool.shutdown()
+
+    def test_retry_honoured_at_one_worker(self):
+        # Regression: retry used to be silently dropped unless workers > 1,
+        # so the same experiment aborted at workers=1 but survived at 2+.
+        attempts = {}
+
+        def flaky(trial, epochs):
+            attempts[trial.trial_id] = attempts.get(trial.trial_id, 0) + 1
+            if attempts[trial.trial_id] == 1:
+                raise RuntimeError("transient")
+            return {"loss": 0.0}
+
+        experiment = Experiment(
+            space=SearchSpace({"x": [1, 2]}), searcher="grid", objective="loss",
+        )
+        result = experiment.run(
+            backend=FunctionBackend(flaky),
+            workers=1,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+        )
+        assert not result.failures and all(c == 2 for c in attempts.values())
+        # retry alone implies the serial fault-tolerant runtime.
+        def boom(trial, epochs):
+            raise RuntimeError("permanent")
+
+        survived = experiment.run(
+            backend=FunctionBackend(boom), retry=RetryPolicy(max_retries=0)
+        )
+        assert len(survived.failures) == 2  # recorded, not raised
+
+    def test_prewrapped_backend_rejects_per_call_runtime_knobs(self):
+        backend = ConcurrentBackend(FunctionBackend(lambda t, e: {"loss": 0.0}), workers=2)
+        experiment = Experiment(
+            space=SearchSpace({"x": [1]}), searcher="grid", objective="loss",
+        )
+        try:
+            with pytest.raises(ConfigurationError):
+                experiment.run(backend=backend, workers=4)
+            with pytest.raises(ConfigurationError):
+                experiment.run(backend=backend, retry=RetryPolicy())
+            with pytest.raises(ConfigurationError):
+                # Experiment-level workers must not be silently dropped either.
+                Experiment(
+                    space=SearchSpace({"x": [1]}), searcher="grid",
+                    objective="loss", workers=8,
+                ).run(backend=backend)
+            assert len(experiment.run(backend=backend)) == 1  # bare run is fine
+        finally:
+            backend.close()
+
+    def test_cohort_measuring_backend_refuses_concurrency(self):
+        # SimulationBackend's metrics ARE the cohort schedule; wrapping it
+        # would silently change what it reports (and nothing would speed up).
+        from repro.api import SimulationBackend
+        from repro.models import FeedForwardConfig
+
+        sim = SimulationBackend(
+            profile_fn=lambda t: FeedForwardConfig(
+                input_dim=8, hidden_dims=(16,), num_classes=3
+            ).profile(),
+            batches_per_epoch=1,
+        )
+        experiment = Experiment(
+            space=SearchSpace({"x": [1, 2]}), searcher="grid",
+            objective="makespan_seconds",
+        )
+        with pytest.raises(ConfigurationError):
+            experiment.run(backend=sim, workers=2)
+        with pytest.raises(ConfigurationError):
+            ConcurrentBackend(sim, workers=2)
+        assert len(experiment.run(backend=sim)) == 2  # unwrapped still fine
+
+    def test_process_pool_rejected_by_concurrent_backend(self):
+        # Trial handles live in shared memory; a child process could neither
+        # receive them nor send state back.
+        from repro.api import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(2)
+        try:
+            with pytest.raises(ConfigurationError):
+                ConcurrentBackend(FunctionBackend(lambda t, e: {"loss": 0.0}), pool=pool)
+        finally:
+            pool.shutdown()
+
+    def test_teardown_does_not_deadlock_on_saturated_pool(self):
+        # Regression: teardown used to be dispatched through the pool; with
+        # every slot held by abandoned stragglers, retiring the finished
+        # trial deadlocked the experiment.
+        def slowpoke(trial, epochs):
+            if trial.get("x") > 0:
+                time.sleep(0.6)
+            return {"loss": float(trial.get("x"))}
+
+        started = time.monotonic()
+        result = Experiment(
+            space=SearchSpace({"x": [0, 1, 2]}), searcher="grid", objective="loss",
+        ).run(
+            backend=FunctionBackend(slowpoke),
+            workers=2,
+            retry=RetryPolicy(timeout_seconds=0.15),
+        )
+        assert time.monotonic() - started < 0.5  # returned despite stragglers
+        assert len(result.succeeded()) == 1
+        assert {f.trial_id for f in result.failures} == {"grid-1", "grid-2"}
+
+    def test_non_positive_workers_rejected(self):
+        experiment = Experiment(
+            space=SearchSpace({"x": [1]}), searcher="grid", objective="loss",
+        )
+        backend = FunctionBackend(lambda t, e: {"loss": 0.0})
+        with pytest.raises(ConfigurationError):
+            experiment.run(backend=backend, workers=0)
+        with pytest.raises(ConfigurationError):
+            experiment.run(backend=backend, workers=-2)
+
+    def test_run_model_selection_with_workers(self):
+        from repro.hydra import run_model_selection
+
+        builders = {
+            f"mlp-{width}": (
+                lambda width=width: _build_trainable(
+                    TrialConfig(trial_id=f"mlp-{width}", hyperparameters={"width": width})
+                )
+            )
+            for width in (16, 32)
+        }
+        serial = run_model_selection(dict(builders), num_devices=2)
+        pooled = run_model_selection(dict(builders), num_devices=2, workers=2)
+        assert [t.metrics for t in serial.trials] == [t.metrics for t in pooled.trials]
+        assert serial.best().trial_id == pooled.best().trial_id
+
+
+# --------------------------------------------------------------------- #
+# Cerebro hop-parallelism
+# --------------------------------------------------------------------- #
+class TestCerebroHopParallelism:
+    def test_hop_parallel_is_bit_identical_to_serial(self):
+        experiment = Experiment(
+            space=SearchSpace({"width": [16, 32], "lr": [1e-2, 1e-3]}),
+            searcher="grid",
+            objective="loss",
+            budget=Budget(epochs_per_trial=2),
+        )
+        serial = experiment.run(
+            backend=CerebroBackend(
+                DATASET, builder=_build_hoppable, num_workers=2, batch_size=16
+            )
+        )
+        parallel_backend = CerebroBackend(
+            DATASET, builder=_build_hoppable, num_workers=2, batch_size=16,
+            hop_parallel=True,
+        )
+        try:
+            parallel = experiment.run(backend=parallel_backend)
+        finally:
+            parallel_backend.close()
+        # Each model's update order is identical, so losses match exactly.
+        assert [t.metrics for t in serial.trials] == [t.metrics for t in parallel.trials]
+
+    def test_hop_pool_is_shared_across_cohorts(self):
+        backend = CerebroBackend(
+            DATASET, builder=_build_hoppable, num_workers=2, batch_size=16,
+            hop_parallel=True,
+        )
+        try:
+            first = backend._pool()
+            second = backend._pool()
+            assert first is second
+        finally:
+            backend.close()
+        assert backend._hop_pool is None
+
+
+# --------------------------------------------------------------------- #
+# Teardown discipline on failure paths (regression for the handle leak)
+# --------------------------------------------------------------------- #
+class TestTeardownOnFailure:
+    def _runner(self, backend):
+        tracker = ExperimentTracker(objective="loss", mode="min")
+        return TrialRunner(
+            backend, SearchSpace({"x": [1]}), Budget(epochs_per_trial=5),
+            tracker, CallbackList([]),
+        )
+
+    def test_resumable_backend_crash_mid_epoch_tears_down_handles(self):
+        # Regression: a ResumableFunctionBackend trial that raises mid-epoch
+        # used to leak its handle (teardown only ran via Experiment.finish).
+        torn_down = []
+
+        class _Tracking(ResumableFunctionBackend):
+            def teardown(self, handle):
+                torn_down.append(handle.trial_id)
+                super().teardown(handle)
+
+        def crashes_second_epoch(trial, epochs, state):
+            epochs_done = (state or 0) + epochs
+            if epochs_done >= 2:
+                raise RuntimeError("mid-epoch crash")
+            return {"loss": 1.0}, epochs_done
+
+        runner = self._runner(_Tracking(crashes_second_epoch))
+        trials = [TrialConfig(trial_id="t0", hyperparameters={"x": 1})]
+        # Callbacks present -> epoch stepping -> the crash happens mid-cohort.
+        runner.callbacks.callbacks.append(Callback())
+        with pytest.raises(RuntimeError):
+            runner.run_trials(trials, 5)
+        assert torn_down == ["t0"]  # torn down on the failure path itself
+
+    def test_one_shot_backend_crash_tears_down_whole_cohort(self):
+        torn_down = []
+
+        class _Tracking(FunctionBackend):
+            def teardown(self, handle):
+                torn_down.append(handle.trial_id)
+                super().teardown(handle)
+
+        def boom(trial, epochs):
+            raise RuntimeError("crash")
+
+        runner = self._runner(_Tracking(boom))
+        trials = [
+            TrialConfig(trial_id=f"t{i}", hyperparameters={"x": 1}) for i in range(3)
+        ]
+        with pytest.raises(RuntimeError):
+            runner.run_trials(trials, 1)
+        assert sorted(torn_down) == ["t0", "t1", "t2"]
+
+    def test_runner_context_manager_retires_leftovers(self):
+        torn_down = []
+
+        class _Tracking(FunctionBackend):
+            def teardown(self, handle):
+                torn_down.append(handle.trial_id)
+                super().teardown(handle)
+
+        runner = self._runner(_Tracking(lambda t, e: {"loss": 1.0}))
+        with runner:
+            runner.run_trials(
+                [TrialConfig(trial_id="t0", hyperparameters={"x": 1})], 1
+            )
+            # Searcher "forgot" to retire; __exit__ must do it.
+            assert torn_down == []
+        assert torn_down == ["t0"]
+
+
+# --------------------------------------------------------------------- #
+# Callback ordering and early stopping under concurrency
+# --------------------------------------------------------------------- #
+class _Recorder(Callback):
+    def __init__(self):
+        self.events = []
+        self.threads = set()
+
+    def on_trial_start(self, trial):
+        self.threads.add(threading.get_ident())
+        self.events.append(f"trial_start:{trial.trial_id}")
+
+    def on_epoch_end(self, trial, epoch, metrics):
+        self.threads.add(threading.get_ident())
+        self.events.append(f"epoch_end:{trial.trial_id}:{epoch}")
+        return None
+
+    def on_trial_end(self, result):
+        self.threads.add(threading.get_ident())
+        self.events.append(f"trial_end:{result.trial_id}")
+
+
+class TestCallbacksUnderConcurrency:
+    def _resumable_sleeper(self):
+        def train_fn(trial, epochs, state):
+            time.sleep(0.01)
+            epochs_done = (state or 0) + epochs
+            return {"loss": 1.0 / epochs_done}, epochs_done
+
+        return ResumableFunctionBackend(train_fn)
+
+    def test_event_order_is_deterministic_at_any_worker_count(self):
+        def run(workers):
+            recorder = _Recorder()
+            Experiment(
+                space=SearchSpace({"x": [1, 2, 3, 4]}),
+                searcher="grid",
+                objective="loss",
+                budget=Budget(epochs_per_trial=2),
+                callbacks=[recorder],
+            ).run(backend=self._resumable_sleeper(), workers=workers)
+            return recorder
+
+        serial = run(None)
+        pooled = run(4)
+        assert pooled.events == serial.events  # identical order, not just set
+
+    def test_callbacks_fire_on_the_driving_thread_only(self):
+        recorder = _Recorder()
+        Experiment(
+            space=SearchSpace({"x": [1, 2]}),
+            searcher="grid",
+            objective="loss",
+            budget=Budget(epochs_per_trial=2),
+            callbacks=[recorder],
+        ).run(backend=self._resumable_sleeper(), workers=2)
+        # Workers train; callbacks observe from the experiment's own thread,
+        # so user callbacks need no locking.
+        assert recorder.threads == {threading.get_ident()}
+
+    def test_stop_vote_retires_trial_without_blocking_cohort_peers(self):
+        class _StopOne(Callback):
+            def on_epoch_end(self, trial, epoch, metrics):
+                return trial.trial_id == "grid-0" and epoch >= 1
+
+        recorder = _Recorder()
+        result = Experiment(
+            space=SearchSpace({"x": [1, 2, 3]}),
+            searcher="grid",
+            objective="loss",
+            budget=Budget(epochs_per_trial=3),
+            callbacks=[_StopOne(), recorder],
+        ).run(backend=self._resumable_sleeper(), workers=3)
+        by_id = {t.trial_id: t for t in result.trials}
+        assert by_id["grid-0"].epochs_trained == 1  # stopped after its vote
+        assert by_id["grid-1"].epochs_trained == 3  # peers kept training
+        assert by_id["grid-2"].epochs_trained == 3
+        # The stopped trial saw no further epochs but was still retired.
+        assert "epoch_end:grid-0:2" not in recorder.events
+        assert "trial_end:grid-0" in recorder.events
+        assert len(result) == 3  # stopped trial still ranked
+
+    def test_early_stop_metrics_survive_concurrency(self):
+        from repro.api import EarlyStopping
+
+        result = Experiment(
+            space=SearchSpace({"x": [1, 2, 3, 4]}),
+            searcher="grid",
+            objective="loss",
+            budget=Budget(epochs_per_trial=10),
+            callbacks=[EarlyStopping(monitor="loss", mode="min", threshold=0.35)],
+        ).run(backend=self._resumable_sleeper(), workers=4)
+        # 1/epochs hits <= 0.35 at epoch 3 for every trial, at any worker count.
+        assert [t.epochs_trained for t in result.trials] == [3, 3, 3, 3]
