@@ -14,6 +14,17 @@ import numpy as np
 
 from repro.exceptions import AutogradError
 
+_TENSOR_RUNTIME = None
+
+
+def _tensor_runtime():
+    """Cache the (Tensor, is_grad_enabled) pair used on every op dispatch."""
+    global _TENSOR_RUNTIME
+    if _TENSOR_RUNTIME is None:
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+        _TENSOR_RUNTIME = (Tensor, is_grad_enabled)
+    return _TENSOR_RUNTIME
+
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
@@ -63,28 +74,35 @@ class Function:
         """Run the op on tensor/array inputs and build the output tensor.
 
         Non-tensor inputs (python scalars, numpy arrays) are treated as
-        constants that require no gradient.
+        constants that require no gradient.  The output is built through
+        :meth:`Tensor._wrap`, skipping ``__init__``'s dtype coercion — op
+        outputs are derived from already-coerced arrays.
         """
-        from repro.autograd.tensor import Tensor, is_grad_enabled
+        tensor_cls, grad_enabled = _tensor_runtime()
 
         ctx = cls()
         tensor_inputs = []
         raw_inputs = []
+        needs_grad = []
+        any_needs_grad = False
         for value in inputs:
-            if isinstance(value, Tensor):
+            if isinstance(value, tensor_cls):
                 tensor_inputs.append(value)
                 raw_inputs.append(value.data)
+                needs_grad.append(value.requires_grad)
+                any_needs_grad = any_needs_grad or value.requires_grad
             else:
                 tensor_inputs.append(None)
                 raw_inputs.append(np.asarray(value) if not np.isscalar(value) else value)
+                needs_grad.append(False)
 
-        ctx.needs_input_grad = tuple(
-            t is not None and t.requires_grad for t in tensor_inputs
-        )
+        ctx.needs_input_grad = tuple(needs_grad)
         output_data = ctx.forward(*raw_inputs, **kwargs)
+        if type(output_data) is not np.ndarray:
+            output_data = np.asarray(output_data)
 
-        requires_grad = is_grad_enabled() and any(ctx.needs_input_grad)
-        output = Tensor(output_data, requires_grad=requires_grad)
+        requires_grad = any_needs_grad and grad_enabled()
+        output = tensor_cls._wrap(output_data, requires_grad)
         if requires_grad:
             ctx.parents = tuple(tensor_inputs)
             output._ctx = ctx

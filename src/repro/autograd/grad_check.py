@@ -68,7 +68,9 @@ def check_gradients(
     output = func(*inputs)
     if output.size != 1:
         raise ValueError("check_gradients requires a scalar-valued function")
-    output.backward()
+    # Keep the analytic graph intact (opt out of eager context freeing) so a
+    # failing check can be re-run or inspected against the same graph.
+    output.backward(retain_graph=True)
 
     errors: Dict[int, float] = {}
     for i, tensor in enumerate(inputs):

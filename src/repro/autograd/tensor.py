@@ -37,6 +37,11 @@ def _ops():
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
+#: Sentinel left in ``_ctx`` when backward() releases a node's context, so a
+#: second backward through the freed graph raises instead of silently
+#: producing wrong (missing) gradients.
+_FREED = object()
+
 
 class Tensor:
     """A multi-dimensional array that supports reverse-mode differentiation.
@@ -83,6 +88,24 @@ class Tensor:
         if self.requires_grad and not np.issubdtype(self.data.dtype, np.floating):
             raise AutogradError("only floating-point tensors can require gradients")
 
+    @staticmethod
+    def _wrap(data: np.ndarray, requires_grad: bool = False,
+              name: Optional[str] = None) -> "Tensor":
+        """Fast-path constructor for arrays our own ops already produced.
+
+        Skips the dtype-coercion rules of ``__init__`` (the array is known to
+        carry a supported dtype) and always builds a plain :class:`Tensor`,
+        never a subclass.  This is what every op output, ``detach()``,
+        ``copy()`` and shard-boundary hand-off goes through on the hot path.
+        """
+        tensor = Tensor.__new__(Tensor)
+        tensor.data = data
+        tensor.grad = None
+        tensor.requires_grad = requires_grad
+        tensor.name = name
+        tensor._ctx = None
+        return tensor
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
@@ -115,14 +138,18 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut off from the autograd graph."""
-        return Tensor(self.data, requires_grad=False, name=self.name)
+        return Tensor._wrap(self.data, requires_grad=False, name=self.name)
 
     def copy(self) -> "Tensor":
         """Return a deep copy (data copied, graph not carried over)."""
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
+        return Tensor._wrap(self.data.copy(), requires_grad=self.requires_grad, name=self.name)
 
     def astype(self, dtype) -> "Tensor":
-        return Tensor(self.data.astype(dtype), requires_grad=False, name=self.name)
+        array = self.data.astype(dtype)
+        if array.dtype == self.data.dtype or array.dtype in (np.float32, np.float64):
+            return Tensor._wrap(array, requires_grad=False, name=self.name)
+        # Unusual target dtypes keep the full coercion rules (f16 -> f32, ...).
+        return Tensor(array, requires_grad=False, name=self.name)
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
@@ -131,14 +158,28 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Autograd
     # ------------------------------------------------------------------ #
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[np.ndarray] = None, retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         ``grad`` defaults to 1.0 and may only be omitted for scalar outputs
         (e.g. a loss value).
+
+        Unless ``retain_graph`` is true, each node's recorded context (its
+        saved forward activations and parent links) is released as soon as
+        the backward pass has consumed it, so activation memory is freed
+        eagerly instead of living until the whole graph is garbage-collected.
+        Pass ``retain_graph=True`` to keep the graph intact (e.g. for
+        gradient checking or when backpropagating twice through shared
+        subgraphs).
         """
         if not self.requires_grad:
             raise AutogradError("backward() called on a tensor that does not require grad")
+        if self._ctx is _FREED:
+            raise AutogradError(
+                "backward through a graph whose saved state was already freed; "
+                "pass retain_graph=True to the first backward() call to "
+                "backpropagate through it again"
+            )
         if grad is None:
             if self.data.size != 1:
                 raise AutogradError(
@@ -153,29 +194,54 @@ class Tensor:
                 )
 
         ordering = self._topological_order()
+        # In-flight gradient per graph node, plus the ids of buffers this
+        # backward pass allocated itself.  Owned buffers can be accumulated
+        # into in place; everything else (op outputs, views, caller-supplied
+        # arrays) may be aliased elsewhere and must never be mutated.
         grads: dict[int, np.ndarray] = {id(self): grad}
-        self.grad = _accumulate(self.grad, grad)
+        owned: Set[int] = set()
+        self.grad = _accumulate_grad(self.grad, grad, id(self), owned)
 
         for node in ordering:
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None or node._ctx is None:
+            ctx = node._ctx
+            if ctx is None:
                 continue
-            parent_grads = node._ctx.propagate(node_grad)
-            for parent, parent_grad in zip(node._ctx.parents, parent_grads):
-                if parent is None or parent_grad is None:
+            node_grad = grads.pop(id(node), None)
+            if ctx is _FREED:
+                if node_grad is None:
                     continue
-                if not parent.requires_grad:
-                    continue
-                parent_grad = np.asarray(parent_grad)
-                if parent_grad.shape != parent.data.shape:
-                    raise AutogradError(
-                        f"{type(node._ctx).__name__} produced gradient of shape "
-                        f"{parent_grad.shape} for input of shape {parent.data.shape}"
-                    )
-                grads[id(parent)] = _accumulate(grads.get(id(parent)), parent_grad)
-                if parent._ctx is None:
-                    # Leaf tensor: accumulate into .grad
-                    parent.grad = _accumulate(parent.grad, parent_grad)
+                raise AutogradError(
+                    "backward through a graph whose saved state was already freed; "
+                    "pass retain_graph=True to the first backward() call to "
+                    "backpropagate through it again"
+                )
+            if node_grad is not None:
+                parent_grads = ctx.propagate(node_grad)
+                for parent, parent_grad in zip(ctx.parents, parent_grads):
+                    if parent is None or parent_grad is None:
+                        continue
+                    if not parent.requires_grad:
+                        continue
+                    parent_grad = np.asarray(parent_grad)
+                    if parent_grad.shape != parent.data.shape:
+                        raise AutogradError(
+                            f"{type(ctx).__name__} produced gradient of shape "
+                            f"{parent_grad.shape} for input of shape {parent.data.shape}"
+                        )
+                    if parent._ctx is not None:
+                        key = id(parent)
+                        grads[key] = _accumulate_grad(
+                            grads.get(key), parent_grad, key, owned
+                        )
+                    else:
+                        # Leaf tensor: accumulate into .grad
+                        parent.grad = _accumulate_grad(
+                            parent.grad, parent_grad, id(parent), owned
+                        )
+            if not retain_graph:
+                # Release saved activations and parent links eagerly
+                # (PyTorch's retain_graph=False behaviour).
+                node._ctx = _FREED
 
     def _topological_order(self) -> List["Tensor"]:
         """Return graph nodes reachable from ``self`` in reverse topological order."""
@@ -192,8 +258,9 @@ class Tensor:
                 continue
             visited.add(id(node))
             stack.append((node, True))
-            if node._ctx is not None:
-                for parent in node._ctx.parents:
+            ctx = node._ctx
+            if ctx is not None and ctx is not _FREED:
+                for parent in ctx.parents:
                     if parent is not None and id(parent) not in visited:
                         stack.append((parent, False))
         order.reverse()
@@ -324,8 +391,26 @@ class Tensor:
         return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{grad_flag}{label})"
 
 
-def _accumulate(existing: Optional[np.ndarray], update: np.ndarray) -> np.ndarray:
-    """Sum gradients, handling the first contribution."""
+def _accumulate_grad(
+    existing: Optional[np.ndarray],
+    update: np.ndarray,
+    slot: int,
+    owned: Set[int],
+) -> np.ndarray:
+    """Sum gradients into an accumulation slot, in place when we own the buffer.
+
+    The first contribution is stored as-is (the array may be an op output
+    that is also handed to another parent, so it must not be mutated).  The
+    second contribution allocates a fresh sum — from then on the slot's
+    buffer is exclusively ours and further contributions are added with
+    ``np.add(..., out=...)`` without allocating.  The grouping
+    ``((g1 + g2) + g3) + ...`` is identical to the allocating path, so
+    accumulated gradients are bit-for-bit unchanged.
+    """
     if existing is None:
-        return update.copy() if update.base is not None else update
+        return update
+    if slot in owned:
+        np.add(existing, update, out=existing)
+        return existing
+    owned.add(slot)
     return existing + update

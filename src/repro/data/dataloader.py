@@ -72,24 +72,71 @@ class DataLoader:
         n = len(self.dataset)
         epoch = self._epoch
         self._epoch += 1
-        indices = np.arange(n)
+        # The per-epoch permutation is computed once up front (not per batch);
+        # unshuffled epochs skip it entirely and slice contiguous views.
         if self.shuffle:
             if self.seed is not None:
                 generator = np.random.default_rng((self.seed, epoch))
             else:
                 generator = get_rng()
             indices = generator.permutation(n)
-        return self._batches(indices)
+        else:
+            indices = None
+        source = getattr(self.dataset, "column_source", None)
+        if source is not None:
+            source = source()
+        if source is not None:
+            columns, rows = source
+            if rows is not None:
+                # Compose the subset/row mapping with the epoch order; only
+                # integer index arrays are combined, never column data.
+                indices = rows if indices is None else np.asarray(rows)[indices]
+            return self._column_batches(columns, n, indices)
+        return self._batches(np.arange(n) if indices is None else indices)
+
+    def _column_batches(
+        self, columns: Dict[str, np.ndarray], n: int, indices: Optional[np.ndarray]
+    ) -> Iterator[Batch]:
+        """Vectorised batching over a columnar dataset.
+
+        Each batch field is produced by one numpy slice: a zero-copy
+        contiguous view when the dataset is dense and unshuffled, a single
+        fancy-indexed copy (O(batch), never O(dataset)) otherwise — no
+        per-example python loop, no per-example dicts.  The batch values
+        are byte-identical to the stacked fallback path.  View batches are
+        marked read-only: they alias the dataset's backing arrays, and an
+        in-place write would otherwise corrupt the dataset for every later
+        epoch.
+        """
+        names = list(columns)
+        for start in range(0, n, self.batch_size):
+            stop = min(start + self.batch_size, n)
+            if self.drop_last and stop - start < self.batch_size:
+                break
+            if indices is None:
+                arrays = {}
+                for name in names:
+                    view = columns[name][start:stop]
+                    view.flags.writeable = False
+                    arrays[name] = view
+                yield Batch(arrays)
+            else:
+                chunk = indices[start:stop]
+                yield Batch({name: columns[name][chunk] for name in names})
 
     def _batches(self, indices: np.ndarray) -> Iterator[Batch]:
+        """Fallback batching for map-style datasets without column_source()."""
         n = len(indices)
+        names: Optional[list] = None
         for start in range(0, n, self.batch_size):
             chunk = indices[start:start + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 break
             examples = [self.dataset[int(i)] for i in chunk]
+            if names is None:
+                names = list(examples[0])
             stacked = {
                 name: np.stack([np.asarray(example[name]) for example in examples])
-                for name in examples[0]
+                for name in names
             }
             yield Batch(stacked)

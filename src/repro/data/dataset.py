@@ -53,6 +53,18 @@ class ArrayDataset(Dataset):
             raise IndexError(f"index {index} out of range for dataset of size {self._length}")
         return {name: values[index] for name, values in self._arrays.items()}
 
+    def column_source(self) -> tuple:
+        """``(columns, row_indices)`` backing this dataset's examples.
+
+        Datasets exposing ``column_source()`` opt in to the loader's
+        vectorised batching: whole mini-batches are sliced straight out of
+        the column arrays instead of stacking per-example dicts.
+        ``row_indices`` is ``None`` when the dataset covers the columns
+        densely in order (enabling zero-copy contiguous batch views), or an
+        index array mapping dataset positions to column rows.
+        """
+        return self._arrays, None
+
 
 class Subset(Dataset):
     """A view of a dataset restricted to a list of indices."""
@@ -63,9 +75,30 @@ class Subset(Dataset):
         for i in self.indices:
             if not 0 <= i < len(dataset):
                 raise IndexError(f"subset index {i} out of range for dataset of size {len(dataset)}")
+        self._index_array = np.asarray(self.indices, dtype=np.intp)
 
     def __len__(self) -> int:
         return len(self.indices)
 
     def __getitem__(self, index: int) -> Dict[str, np.ndarray]:
         return self.dataset[self.indices[index]]
+
+    def column_source(self) -> tuple | None:
+        """The base dataset's columns plus this subset's row mapping.
+
+        Only the (small) integer index arrays are composed — the column
+        data itself is never copied here, so the loader's per-batch gather
+        stays O(batch), not O(subset).  Returns ``None`` when the base
+        dataset has no columnar form, in which case the loader falls back
+        to per-example stacking.
+        """
+        base_source = getattr(self.dataset, "column_source", None)
+        if base_source is None:
+            return None
+        source = base_source()
+        if source is None:
+            return None
+        base_columns, base_indices = source
+        if base_indices is None:
+            return base_columns, self._index_array
+        return base_columns, np.asarray(base_indices)[self._index_array]

@@ -52,8 +52,9 @@ class MultiHeadSelfAttention(Module):
         q = self._split_heads(self.query(x), batch, seq_len)
         k = self._split_heads(self.key(x), batch, seq_len)
         v = self._split_heads(self.value(x), batch, seq_len)
+        scale = 1.0 / math.sqrt(self.head_dim)
 
-        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        mask = None
         if attention_mask is not None:
             mask = np.asarray(attention_mask, dtype=bool)
             if mask.shape != (batch, seq_len):
@@ -61,14 +62,28 @@ class MultiHeadSelfAttention(Module):
                     f"attention_mask shape {mask.shape} does not match (batch, seq_len)="
                     f"{(batch, seq_len)}"
                 )
-            # Broadcast to (B, 1, 1, S): every query may attend only to valid keys.
-            broadcast_mask = mask[:, None, None, :]
-            scores = ops.where(
-                np.broadcast_to(broadcast_mask, scores.shape), scores, scores * 0.0 - 1e9
-            )
-        weights = ops.softmax(scores, axis=-1)
-        weights = self.attention_dropout(weights)
-        context = weights.matmul(v)
+            if mask.all():
+                # All positions valid: `where(True, scores, ...)` is the
+                # identity for both values and gradients, so the mask
+                # machinery can be skipped entirely.
+                mask = None
+
+        dropout_active = self.attention_dropout.p > 0.0 and self.attention_dropout.training
+        if mask is None and not dropout_active:
+            # Fast path: fused scaled-dot-product kernel (bit-identical to
+            # the composition below, one graph node, no score stash).
+            context = ops.attention_core(q, k, v, scale=scale)
+        else:
+            scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale
+            if mask is not None:
+                # Broadcast to (B, 1, 1, S): every query may attend only to valid keys.
+                broadcast_mask = mask[:, None, None, :]
+                scores = ops.where(
+                    np.broadcast_to(broadcast_mask, scores.shape), scores, scores * 0.0 - 1e9
+                )
+            weights = ops.softmax(scores, axis=-1)
+            weights = self.attention_dropout(weights)
+            context = weights.matmul(v)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_size)
         return self.output(context)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module
@@ -24,11 +25,9 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((self.normalized_shape,)), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalised = centered / (variance + self.eps).sqrt()
-        return normalised * self.weight + self.bias
+        # Fused single-pass kernel: one graph node, bit-identical to
+        # `(x - mean) / (var + eps).sqrt() * self.weight + self.bias`.
+        return ops.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
     def __repr__(self) -> str:
         return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

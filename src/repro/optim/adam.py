@@ -33,23 +33,38 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
 
     def _update(self, param: Parameter, grad: np.ndarray) -> None:
-        if self.weight_decay and self._couples_weight_decay():
-            grad = grad + self.weight_decay * param.data
+        # Fully in-place update: the moments are mutated with `out=` ufuncs
+        # and every temporary lives in the optimizer's scratch buffer, so a
+        # warmed-up step allocates nothing.  Each numpy operation applies the
+        # same ufunc to the same operands as the allocating formulation
+        # (`m = beta1*m + (1-beta1)*grad`, ...), keeping updates bit-exact.
         state = self._param_state(param)
         m = state.get("m")
         v = state.get("v")
         if m is None:
-            m = np.zeros_like(param.data)
-            v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
-        state["m"], state["v"] = m, v
-        m_hat = m / (1.0 - self.beta1 ** self.step_count)
-        v_hat = v / (1.0 - self.beta2 ** self.step_count)
-        update = m_hat / (np.sqrt(v_hat) + self.eps)
+            m = state["m"] = np.zeros_like(param.data)
+            v = state["v"] = np.zeros_like(param.data)
+        work, scratch = self._scratch_views(param, 2)
+        if self.weight_decay and self._couples_weight_decay():
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            grad = np.add(grad, scratch, out=work)
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=scratch)
+        np.add(m, scratch, out=m)
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, grad, out=scratch)
+        np.multiply(scratch, 1.0 - self.beta2, out=scratch)
+        np.add(v, scratch, out=v)
+        update = np.divide(m, 1.0 - self.beta1 ** self.step_count, out=work)  # m_hat
+        denom = np.divide(v, 1.0 - self.beta2 ** self.step_count, out=scratch)  # v_hat
+        np.sqrt(denom, out=denom)
+        np.add(denom, self.eps, out=denom)
+        np.divide(update, denom, out=update)
         if self.weight_decay and not self._couples_weight_decay():
-            update = update + self.weight_decay * param.data
-        param.data = param.data - self.lr * update
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            np.add(update, scratch, out=update)
+        np.multiply(update, self.lr, out=update)
+        np.subtract(param.data, update, out=param.data)
 
     def _couples_weight_decay(self) -> bool:
         """Adam couples L2 into the gradient; AdamW decays weights directly."""

@@ -29,24 +29,57 @@ class Optimizer:
         self.lr = float(lr)
         self.state: Dict[int, Dict[str, np.ndarray]] = {}
         self.step_count = 0
+        self._scratch: Dict[str, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
 
     def step(self) -> None:
-        """Apply one update using the gradients currently stored on the parameters."""
+        """Apply one update using the gradients currently stored on the parameters.
+
+        Gradients are handed to :meth:`_update` read-only: updates write the
+        parameter and optimizer state in place (via ``out=`` ufuncs and the
+        shared scratch buffer) and never rebind ``param.data`` or mutate
+        ``param.grad``.
+        """
         self.step_count += 1
         for param in self.parameters:
-            if param.grad is None:
+            grad = param.grad
+            if grad is None:
                 continue
-            self._update(param, param.grad.astype(param.data.dtype))
+            if grad.dtype != param.data.dtype:
+                grad = grad.astype(param.data.dtype)
+            elif not grad.flags.c_contiguous:
+                # Transposed/strided gradient views (e.g. the fused linear
+                # kernel's weight gradient) are normalised once here so the
+                # update ufuncs stream over contiguous memory.
+                grad = np.ascontiguousarray(grad)
+            self._update(param, grad)
 
     def _update(self, param: Parameter, grad: np.ndarray) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def _param_state(self, param: Parameter) -> Dict[str, np.ndarray]:
         return self.state.setdefault(id(param), {})
+
+    def _scratch_views(self, param: Parameter, count: int) -> tuple:
+        """``count`` disjoint param-shaped views of one reusable scratch buffer.
+
+        The buffer is allocated once per dtype and grown to the largest
+        request, so a warmed-up optimizer performs zero per-step allocations:
+        every temporary of every ``_update`` lives in this scratch space.
+        """
+        size = param.data.size
+        key = np.dtype(param.data.dtype).str
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.size < count * size:
+            buffer = np.empty(count * size, dtype=param.data.dtype)
+            self._scratch[key] = buffer
+        shape = param.data.shape
+        return tuple(
+            buffer[i * size:(i + 1) * size].reshape(shape) for i in range(count)
+        )
 
     def state_dict(self) -> Dict[str, object]:
         """Serialisable snapshot of hyper-parameters and step count."""

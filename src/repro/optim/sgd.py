@@ -28,14 +28,21 @@ class SGD(Optimizer):
         self.state_bytes_per_parameter = 4 if momentum > 0 else 0
 
     def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        # In-place update: velocity is mutated with `out=` ufuncs, the only
+        # temporaries live in the optimizer scratch buffer, and `param.data`
+        # is written in place rather than rebound.  Ufunc-for-ufunc identical
+        # to the allocating `p -= lr * (momentum*vel + grad + wd*p)` formulation.
+        work, scratch = self._scratch_views(param, 2)
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            grad = np.add(grad, scratch, out=work)
         if self.momentum > 0:
             state = self._param_state(param)
             velocity = state.get("velocity")
             if velocity is None:
-                velocity = np.zeros_like(param.data)
-            velocity = self.momentum * velocity + grad
-            state["velocity"] = velocity
+                velocity = state["velocity"] = np.zeros_like(param.data)
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, grad, out=velocity)
             grad = velocity
-        param.data = param.data - self.lr * grad
+        np.multiply(grad, self.lr, out=work)
+        np.subtract(param.data, work, out=param.data)

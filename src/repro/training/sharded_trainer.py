@@ -101,6 +101,17 @@ class ShardedModelExecutor:
         self._contexts = [_ShardContext() for _ in self.boundaries]
         self._loss = None
 
+    def end_batch(self) -> None:
+        """Drop the activation stashes and loss of the finished batch.
+
+        The boundary inputs/outputs (and through them whatever autograd
+        state survived the backward pass) would otherwise stay alive until
+        the next ``begin_batch``, keeping one batch's worth of activation
+        memory resident between optimisation steps.
+        """
+        self._contexts = []
+        self._loss = None
+
     def run_forward(self, shard_index: int, batch: Batch) -> Any:
         """Forward pass of one shard; stores the boundary input and output."""
         context = self._contexts[shard_index]
@@ -139,10 +150,16 @@ class ShardedModelExecutor:
                 raise SchedulingError(
                     "boundary gradient structure does not match shard output structure"
                 )
-            for tensor, grad in zip(output_tensors, boundary_grads):
-                if grad is None:
-                    continue
-                tensor.backward(grad)
+            pending = [
+                (tensor, grad)
+                for tensor, grad in zip(output_tensors, boundary_grads)
+                if grad is not None
+            ]
+            for position, (tensor, grad) in enumerate(pending):
+                # Multi-tensor boundary states may share a subgraph: only the
+                # last backward may free contexts, or the earlier passes would
+                # silently detach the shared portion for the later ones.
+                tensor.backward(grad, retain_graph=position < len(pending) - 1)
 
     def shard_parameters(self, shard_index: int) -> List:
         """Parameters owned by the blocks of one shard."""
@@ -165,7 +182,9 @@ class ShardedModelExecutor:
         for shard_index in reversed(range(self.num_shards)):
             self.run_backward(shard_index)
         optimizer.step()
-        return loss.item()
+        loss_value = loss.item()
+        self.end_batch()
+        return loss_value
 
     def forward_only(self, batch: Batch) -> Any:
         """Sharded inference (no gradients kept beyond the shard boundaries)."""
@@ -173,6 +192,7 @@ class ShardedModelExecutor:
         output = None
         for shard_index in range(self.num_shards):
             output = self.run_forward(shard_index, batch)
+        self.end_batch()
         return output
 
 
@@ -283,6 +303,10 @@ class ShardParallelTrainer:
                     cursors[index] -= 1
                     if cursors[index] < 0:
                         slot.optimizer.step()
+                        # Free the finished batch's activation stashes before
+                        # the next fetch so peak memory spans one batch, not two.
+                        slot.executor.end_batch()
+                        batches[index] = None
                         phases[index] = "fetch"
             if not progressed:
                 break
