@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.selection.experiment import TrialConfig
 
 
@@ -113,6 +114,22 @@ class ExecutionBackend:
     def teardown(self, handle: TrialHandle) -> None:
         """Release per-trial state (models, plans, loaders)."""
         handle.state = None
+
+    def with_memory_budget(self, memory_budget) -> "ExecutionBackend":
+        """A copy of this backend constrained to a per-device memory budget.
+
+        Engine backends that support spilled execution (currently
+        :class:`~repro.api.backends.ShardParallelBackend`) override this to
+        return an equivalent backend whose trials acquire shards through a
+        :class:`~repro.memory.SpillManager`; ``Experiment.run(memory_budget=...)``
+        calls it.  The base implementation refuses: most backends have no
+        device-memory notion to constrain.
+        """
+        raise ConfigurationError(
+            f"backend {self.name!r} does not support memory budgets; use a "
+            "backend with spilled execution (e.g. ShardParallelBackend) or "
+            "drop the memory_budget option"
+        )
 
 
 class CohortEngineBackend(ExecutionBackend):

@@ -11,16 +11,24 @@ paper's execution model, now behind the generic backend protocol.
 Model/optimizer state lives on the trial handle between calls, which makes
 the backend resumable: successive halving's later rungs continue training
 the surviving models in place.
+
+With ``memory_budget`` set the backend becomes *spill-aware*: a shared
+:class:`~repro.memory.SpillManager` (one arena per simulated device) makes
+every trial's executors lease shards instead of assuming residency, so
+models whose resident footprint exceeds the per-device budget — or cohorts
+whose total exceeds all budgets combined — still train, bit-identically to
+the unconstrained run (see ``docs/memory.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backend import CohortEngineBackend, TrialHandle
 from repro.data.dataloader import DataLoader
 from repro.exceptions import ConfigurationError
+from repro.memory import DeviceArena, HostShardCache, Prefetcher, SpillManager
 from repro.models.base import ShardableModel
 from repro.optim.optimizer import Optimizer
 from repro.selection.experiment import TrialConfig
@@ -29,6 +37,9 @@ from repro.training.sharded_trainer import ShardParallelTrainer
 
 #: builds the live training objects for one trial
 TrialBuilder = Callable[[TrialConfig], Tuple[ShardableModel, Optimizer, DataLoader]]
+
+#: bytes per device — one number for all devices, or a ``{"dev0": bytes}`` map
+MemoryBudget = Union[int, Dict[str, int]]
 
 
 @dataclass
@@ -51,8 +62,16 @@ class ShardParallelBackend(CohortEngineBackend):
         backend = ShardParallelBackend(builder=build, num_devices=2)
         Experiment(space=space, searcher="grid", backend=backend).run()
 
+    ``memory_budget`` (bytes per device, or a ``{"dev0": bytes}`` map over
+    arenas ``dev0 .. dev{num_devices-1}``) enables spilled execution:
+    trials lease shards through a shared :class:`~repro.memory.SpillManager`
+    and idle shards are evicted to a host cache under pressure.
+    ``eviction_policy`` is ``"lru"`` or ``"schedule-aware"``; ``prefetch``
+    overlaps the next shard's restore with the current shard's compute.
+
     Raises:
-        ConfigurationError: if ``num_devices`` is not positive.
+        ConfigurationError: if ``num_devices`` is not positive, or the
+            memory-budget options are invalid.
     """
 
     name = "shard-parallel"
@@ -63,12 +82,97 @@ class ShardParallelBackend(CohortEngineBackend):
         builder: TrialBuilder,
         num_devices: int = 2,
         num_shards: Optional[int] = None,
+        memory_budget: Optional[MemoryBudget] = None,
+        eviction_policy: str = "schedule-aware",
+        prefetch: bool = True,
+        spill_dir: Optional[str] = None,
+        host_cache_limit_bytes: Optional[int] = None,
     ):
         if num_devices <= 0:
             raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
         self.builder = builder
         self.num_devices = int(num_devices)
         self.num_shards = num_shards
+        self._memory_options = {
+            "memory_budget": memory_budget,
+            "eviction_policy": eviction_policy,
+            "prefetch": prefetch,
+            "spill_dir": spill_dir,
+            "host_cache_limit_bytes": host_cache_limit_bytes,
+        }
+        self.memory: Optional[SpillManager] = None
+        if memory_budget is not None:
+            self.memory = self._make_spill_manager(
+                memory_budget, eviction_policy, prefetch, spill_dir, host_cache_limit_bytes
+            )
+
+    def _make_spill_manager(
+        self,
+        memory_budget: MemoryBudget,
+        eviction_policy: str,
+        prefetch: bool,
+        spill_dir: Optional[str],
+        host_cache_limit_bytes: Optional[int],
+    ) -> SpillManager:
+        names = [f"dev{i}" for i in range(self.num_devices)]
+        if isinstance(memory_budget, dict):
+            unknown = set(memory_budget) - set(names)
+            if unknown:
+                raise ConfigurationError(
+                    f"memory_budget names unknown devices {sorted(unknown)}; "
+                    f"this backend has {names}"
+                )
+            budgets = {name: int(memory_budget.get(name, 0)) for name in names}
+            missing = [name for name, budget in budgets.items() if budget <= 0]
+            if missing:
+                raise ConfigurationError(
+                    f"memory_budget must cover every device with a positive "
+                    f"budget; missing/invalid: {missing}"
+                )
+        else:
+            budgets = {name: int(memory_budget) for name in names}
+        cache = HostShardCache(
+            memory_limit_bytes=host_cache_limit_bytes, spill_dir=spill_dir
+        )
+        return SpillManager(
+            [DeviceArena(name, budgets[name]) for name in names],
+            cache=cache,
+            policy=eviction_policy,
+            prefetcher=Prefetcher() if prefetch else None,
+        )
+
+    def with_memory_budget(self, memory_budget: MemoryBudget) -> "ShardParallelBackend":
+        """An equivalent backend whose trials run under ``memory_budget``.
+
+        Used by ``Experiment.run(memory_budget=...)`` so a per-run budget
+        never mutates a shared backend; the other memory options
+        (eviction policy, prefetch, spill directory) carry over.  The
+        returned backend owns its spill manager — ``Experiment.run`` closes
+        it when the run finishes.
+        """
+        options = dict(self._memory_options, memory_budget=memory_budget)
+        return ShardParallelBackend(
+            builder=self.builder,
+            num_devices=self.num_devices,
+            num_shards=self.num_shards,
+            **options,
+        )
+
+    def close(self) -> None:
+        """Release the spill manager's prefetch worker (no-op without one).
+
+        Construction with ``memory_budget`` starts a background transfer
+        thread; call this (or use ``Experiment.run(memory_budget=...)``,
+        which owns and closes its budgeted backend) when the backend is done.
+        """
+        if self.memory is not None:
+            self.memory.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop for the prefetcher
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     def prepare(self, trial: TrialConfig) -> TrialHandle:
@@ -84,7 +188,9 @@ class ShardParallelBackend(CohortEngineBackend):
         return handle
 
     def make_driver(self, handles: Sequence[TrialHandle]) -> ShardParallelTrainer:
-        trainer = ShardParallelTrainer(num_devices=self.num_devices)
+        trainer = ShardParallelTrainer(
+            num_devices=self.num_devices, memory_manager=self.memory
+        )
         for handle in handles:
             state: _TrialState = handle.state
             trainer.add_model(
@@ -92,3 +198,13 @@ class ShardParallelBackend(CohortEngineBackend):
                 model_id=handle.trial_id,
             )
         return trainer
+
+    def teardown(self, handle: TrialHandle) -> None:
+        """Release the trial's live objects and its spill-manager bookkeeping.
+
+        Evicted shards are restored into the model first, so a caller who
+        kept a reference to the trial's model sees its true parameters.
+        """
+        if self.memory is not None:
+            self.memory.forget_model(handle.trial_id)
+        super().teardown(handle)

@@ -350,6 +350,7 @@ class Experiment:
         callbacks: Optional[Sequence[Callback]] = None,
         workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        memory_budget=None,
     ) -> SelectionResult:
         """Execute the experiment and return the ranked result.
 
@@ -369,17 +370,36 @@ class Experiment:
         ``workers`` nor ``retry``, the backend runs directly and a raising
         trial propagates (after the cohort is torn down).
 
+        ``memory_budget`` (bytes per simulated device) opts the run into
+        *spilled* execution on backends that support it (see
+        :meth:`~repro.api.backend.ExecutionBackend.with_memory_budget`):
+        trials whose models exceed the budget keep idle shards in host
+        memory and stream them in just in time — bit-identical results,
+        bounded device memory.  Composes with ``workers``: the spill
+        manager is shared and thread-safe.
+
         Raises:
             ConfigurationError: if neither the experiment nor the call
-                provides a backend; if ``workers``/``retry`` are invalid; or
-                if they are passed alongside a backend that is already a
-                ``ConcurrentBackend`` (configure that backend instead).
+                provides a backend; if ``workers``/``retry`` are invalid; if
+                they are passed alongside a backend that is already a
+                ``ConcurrentBackend`` (configure that backend instead); or
+                if ``memory_budget`` is passed for a backend without spilled
+                execution.
         """
         engine = backend if backend is not None else self.backend
         if engine is None:
             raise ConfigurationError(
                 f"experiment {self.name!r} has no backend; pass one to run()"
             )
+        owned_budget_backend = None
+        if memory_budget is not None:
+            if isinstance(engine, ConcurrentBackend):
+                raise ConfigurationError(
+                    "backend is already a ConcurrentBackend; construct its "
+                    "inner backend with the memory budget instead of passing "
+                    "memory_budget to run()"
+                )
+            engine = owned_budget_backend = engine.with_memory_budget(memory_budget)
         worker_count = workers if workers is not None else self.workers
         if worker_count is not None and worker_count < 1:
             raise ConfigurationError(f"workers must be positive, got {worker_count}")
@@ -419,6 +439,13 @@ class Experiment:
         finally:
             if owned_runtime is not None:
                 owned_runtime.close()
+            if owned_budget_backend is not None:
+                # The budgeted backend (and its prefetch thread) was created
+                # for this run; release it with the run.  Third-party
+                # backends may support budgets without needing a close.
+                closer = getattr(owned_budget_backend, "close", None)
+                if closer is not None:
+                    closer()
         result = tracker.as_result(searcher.method)
         hooks.on_experiment_end(result)
         return result

@@ -62,6 +62,19 @@ class ExecutionTrace:
             if device is None or record.device == device
         )
 
+    def transfer_seconds(self, device: Optional[str] = None) -> float:
+        """Seconds spent moving bytes (boundary activations, spill traffic).
+
+        Includes both transfers charged to compute tasks (``input_transfers``)
+        and dedicated transfer tasks such as the spilled strategy's
+        host-lane fetch/writeback records, whose whole duration is transfer.
+        """
+        return sum(
+            record.transfer_seconds
+            for record in self.records
+            if device is None or record.device == device
+        )
+
     def utilization(self, device: Optional[str] = None) -> float:
         """Busy time divided by wall-clock time.
 
@@ -147,5 +160,6 @@ class ExecutionTrace:
             "num_tasks": len(self.records),
             "cluster_utilization": self.utilization(),
             "per_device_utilization": self.per_device_utilization(),
+            "transfer_seconds": self.transfer_seconds(),
             "peak_memory_bytes": dict(self.peak_memory_bytes),
         }

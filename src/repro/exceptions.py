@@ -46,6 +46,15 @@ class OutOfDeviceMemoryError(SchedulingError):
         )
 
 
+class MemoryBudgetError(SchedulingError):
+    """Raised when the spill manager cannot satisfy a residency request.
+
+    Either a shard is larger than its device's entire arena, or every other
+    occupant of the arena is pinned and the acquire timed out waiting for
+    capacity (which would otherwise deadlock silently).
+    """
+
+
 class SimulationError(ReproError):
     """Raised when the discrete-event simulator reaches an invalid state."""
 

@@ -32,6 +32,7 @@ from repro.scheduler.model_parallel import ModelParallelStrategy
 from repro.scheduler.policies import get_policy
 from repro.scheduler.shard_parallel import ShardParallelStrategy
 from repro.scheduler.single_device import SingleDeviceStrategy
+from repro.scheduler.spill import SpilledShardParallelStrategy
 from repro.scheduler.task import TrainingJob
 from repro.scheduler.task_parallel import TaskParallelStrategy
 from repro.selection.experiment import SelectionResult, TrialConfig
@@ -47,6 +48,7 @@ _STRATEGIES: Dict[str, Callable[..., Strategy]] = {
     "model-parallel": ModelParallelStrategy,
     "shard-parallel": ShardParallelStrategy,
     "hybrid": HybridShardDataParallelStrategy,
+    "spilled-shard-parallel": SpilledShardParallelStrategy,
 }
 
 
@@ -150,7 +152,7 @@ class HydraSession:
                 f"unknown strategy {name!r}; available: {sorted(_STRATEGIES)}"
             )
         factory = _STRATEGIES[name]
-        if name in ("shard-parallel", "hybrid") and "policy" not in kwargs:
+        if name in ("shard-parallel", "hybrid", "spilled-shard-parallel") and "policy" not in kwargs:
             kwargs["policy"] = get_policy(self.config.policy)
         return factory(**kwargs)
 

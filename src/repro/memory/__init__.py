@@ -1,0 +1,54 @@
+"""Spilled execution: shard residency management with host offload.
+
+Hydra's headline scenario — models larger than any one device, and more
+models than aggregate device memory, trained at full task parallelism —
+depends on *spilling*: idle shards (parameters + optimizer state) live in
+host DRAM and move onto devices just in time.  This package is that
+subsystem:
+
+* :class:`DeviceArena` — a per-device byte ledger (optionally bridged to a
+  simulated :class:`~repro.cluster.device.Device`);
+* :class:`HostShardCache` — the pinned host store for evicted shard
+  payloads, with an optional disk tier in checkpoint format;
+* :class:`SpillManager` — the residency state machine (resident → evicted →
+  prefetching) with pluggable eviction (:class:`LRUEvictionPolicy`,
+  :class:`ScheduleAwareEvictionPolicy`);
+* :class:`Prefetcher` — double-buffered async host→device transfers that
+  overlap the next shard's fetch with the current shard's compute.
+
+The real engines opt in through
+``ShardedModelExecutor.bind_memory`` / ``ShardParallelTrainer(memory_manager=...)``
+(or declaratively via ``Experiment.run(memory_budget=...)``); the simulator
+models the same behaviour through the ``spilled-shard-parallel`` strategy.
+Spilled training is bit-identical to fully-resident training — restores put
+the exact bytes back — which the memory tests enforce with ``array_equal``.
+See ``docs/memory.md``.
+"""
+
+from repro.memory.arena import DeviceArena
+from repro.memory.host_cache import HostShardCache
+from repro.memory.prefetch import Prefetcher
+from repro.memory.spill import (
+    EvictionPolicy,
+    LRUEvictionPolicy,
+    ResidencyState,
+    ScheduleAwareEvictionPolicy,
+    ShardResidency,
+    SpillManager,
+    SpillStats,
+    make_eviction_policy,
+)
+
+__all__ = [
+    "DeviceArena",
+    "EvictionPolicy",
+    "HostShardCache",
+    "LRUEvictionPolicy",
+    "Prefetcher",
+    "ResidencyState",
+    "ScheduleAwareEvictionPolicy",
+    "ShardResidency",
+    "SpillManager",
+    "SpillStats",
+    "make_eviction_policy",
+]

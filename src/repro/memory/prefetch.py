@@ -1,0 +1,108 @@
+"""Asynchronous host→device shard transfers.
+
+A :class:`Prefetcher` runs restore jobs on a
+:class:`~repro.api.runtime.pool.WorkerPool` (a 1-thread
+:class:`~repro.api.runtime.pool.ThreadWorkerPool` by default) so the next
+shard's transfer overlaps the current shard's compute — numpy's large array
+copies release the GIL, so the overlap is real wall-clock overlap, not just
+bookkeeping.  ``depth`` bounds the number of in-flight transfers; the
+default of 1 is classic double buffering (one shard computing, one shard
+in flight).
+
+The prefetcher knows nothing about shards or arenas: the
+:class:`~repro.memory.spill.SpillManager` reserves capacity and hands over a
+zero-argument restore job plus a completion callback.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class Prefetcher:
+    """Bounded-depth async transfer engine (double-buffered by default).
+
+    ``pool`` may be any object with ``submit(fn) -> Future`` (the runtime's
+    ``WorkerPool`` protocol); when omitted, the prefetcher owns a 1-thread
+    ``ThreadWorkerPool`` and shuts it down on :meth:`close`.
+
+    Example::
+
+        prefetcher = Prefetcher(depth=1)
+        if prefetcher.try_reserve():
+            prefetcher.submit(restore_job, lambda error: None)
+        prefetcher.close()
+
+    Raises:
+        ConfigurationError: if ``depth`` is not positive.
+    """
+
+    def __init__(self, pool: Optional[Any] = None, depth: int = 1):
+        if depth <= 0:
+            raise ConfigurationError(f"prefetch depth must be positive, got {depth}")
+        self.depth = int(depth)
+        if pool is None:
+            # Imported lazily: repro.api pulls in the training engines, which
+            # in turn may reach repro.memory — a module-level import here
+            # would close that cycle during package initialisation.
+            from repro.api.runtime.pool import ThreadWorkerPool
+
+            pool = ThreadWorkerPool(max(1, self.depth))
+            self._owned_pool: Optional[Any] = pool
+        else:
+            self._owned_pool = None
+        self._pool = pool
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def inflight(self) -> int:
+        """Number of transfers currently reserved or running."""
+        with self._lock:
+            return self._inflight
+
+    def try_reserve(self) -> bool:
+        """Claim an in-flight slot; ``False`` when the buffer is full."""
+        with self._lock:
+            if self._inflight >= self.depth:
+                return False
+            self._inflight += 1
+            return True
+
+    def cancel_reservation(self) -> None:
+        """Give back a slot claimed by :meth:`try_reserve` without submitting."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def submit(
+        self, job: Callable[[], None], on_done: Callable[[Optional[BaseException]], None]
+    ) -> None:
+        """Run ``job`` on the pool; call ``on_done(error_or_None)`` after.
+
+        The caller must hold a successful :meth:`try_reserve`; the slot is
+        released before ``on_done`` fires.
+        """
+
+        def task() -> None:
+            error: Optional[BaseException] = None
+            try:
+                job()
+            except BaseException as exc:  # noqa: BLE001 - reported to on_done
+                error = exc
+            with self._lock:
+                self._inflight = max(0, self._inflight - 1)
+            on_done(error)
+
+        self._pool.submit(task)
+
+    def close(self) -> None:
+        """Shut down the owned pool (no-op for caller-supplied pools)."""
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return f"Prefetcher(depth={self.depth}, inflight={self.inflight})"

@@ -42,9 +42,34 @@ class Optimizer:
         parameter and optimizer state in place (via ``out=`` ufuncs and the
         shared scratch buffer) and never rebind ``param.data`` or mutate
         ``param.grad``.
+
+        Equivalent to :meth:`advance_step` followed by :meth:`step_params`
+        over every parameter — spilled execution uses those two halves
+        directly to update one shard at a time while it is resident, which
+        is bit-identical because each parameter's update depends only on its
+        own gradient, state, and the shared step count.
+        """
+        self.advance_step()
+        self.step_params(self.parameters)
+
+    def advance_step(self) -> None:
+        """Begin a new optimisation step (bumps the shared step counter).
+
+        Must run exactly once per mini-batch before any :meth:`step_params`
+        call of that batch (Adam's bias correction reads the counter).
         """
         self.step_count += 1
-        for param in self.parameters:
+
+    def step_params(self, parameters: Iterable[Parameter]) -> None:
+        """Update just ``parameters`` using their current gradients.
+
+        The per-parameter arithmetic is exactly :meth:`step`'s, so updating a
+        model shard by shard (each shard while it is device-resident) yields
+        bit-identical results to one whole-model step.  The step counter is
+        *not* advanced — callers group updates under one
+        :meth:`advance_step`.
+        """
+        for param in parameters:
             grad = param.grad
             if grad is None:
                 continue

@@ -14,6 +14,9 @@ The strategies reproduce the three execution regimes the paper compares
   waits on a single model's sequential dependency chain.
 * :class:`~repro.scheduler.hybrid.HybridShardDataParallelStrategy` — Hydra
   shards combined with Cerebro-style data-partition hopping.
+* :class:`~repro.scheduler.spill.SpilledShardParallelStrategy` — shard
+  parallelism with host offload: over-memory workloads run in a single wave,
+  idle shards spilled to host DRAM and streamed in around each pass.
 """
 
 from repro.scheduler.task import TaskKind, ShardTask, TrainingJob, build_task_graph
@@ -38,6 +41,11 @@ from repro.scheduler.task_parallel import TaskParallelStrategy
 from repro.scheduler.model_parallel import ModelParallelStrategy
 from repro.scheduler.shard_parallel import ShardParallelStrategy
 from repro.scheduler.hybrid import HybridShardDataParallelStrategy
+from repro.scheduler.spill import (
+    SpillPlan,
+    SpilledShardParallelStrategy,
+    spill_aware_placement,
+)
 
 __all__ = [
     "TaskKind",
@@ -62,4 +70,7 @@ __all__ = [
     "ModelParallelStrategy",
     "ShardParallelStrategy",
     "HybridShardDataParallelStrategy",
+    "SpillPlan",
+    "SpilledShardParallelStrategy",
+    "spill_aware_placement",
 ]

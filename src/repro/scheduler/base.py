@@ -21,6 +21,9 @@ class ScheduleResult:
     jobs: List[TrainingJob]
     placements: List[Placement] = field(default_factory=list)
     waves: int = 1
+    #: ``(model_id, shard_index)`` keys the strategy executed spilled
+    #: (host-resident between passes); empty for non-spilling strategies
+    spilled_shards: List = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @property
@@ -53,6 +56,7 @@ class ScheduleResult:
             "cluster_utilization": self.cluster_utilization,
             "throughput_samples_per_second": self.throughput_samples_per_second,
             "waves": self.waves,
+            "spilled_shards": len(self.spilled_shards),
             "peak_memory_bytes": dict(self.trace.peak_memory_bytes),
         }
 

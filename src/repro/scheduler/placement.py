@@ -3,8 +3,10 @@
 A placement maps ``(model_id, shard_index)`` to a device name and charges
 that device's memory ledger with the shard's resident bytes (parameters +
 optimizer state).  When the requested jobs do not all fit on the cluster at
-once, :func:`plan_waves` groups them into sequential waves — Hydra's answer
-to "more models than memory" without spilling to host.
+once, :func:`plan_waves` groups them into sequential waves; for full task
+parallelism despite the shortfall, see
+:func:`repro.scheduler.spill.spill_aware_placement`, which keeps the
+overflow in host memory instead of serialising it.
 """
 
 from __future__ import annotations
@@ -134,13 +136,50 @@ def release_placement(jobs: Sequence[TrainingJob], cluster: Cluster, placement: 
                 device.release(key)
 
 
+def _unfit_job_error(job: TrainingJob, cluster: Cluster) -> SchedulingError:
+    """Diagnose *why* a job cannot fit an empty cluster, naming the culprit.
+
+    Points at the widest shard — either it alone exceeds every device, or
+    the job's total working set exceeds the cluster — and suggests
+    :func:`repro.scheduler.spill.spill_aware_placement` (the
+    ``spilled-shard-parallel`` strategy), which admits such jobs by keeping
+    idle shards in host memory instead of serialising or failing.
+    """
+    widest = max(job.plan.shards, key=lambda shard: shard.working_bytes)
+    largest_device = max(d.spec.memory_bytes for d in cluster.devices)
+    total_working = sum(shard.working_bytes for shard in job.plan.shards)
+    if widest.working_bytes > largest_device:
+        detail = (
+            f"shard {widest.index} needs {widest.working_bytes} working bytes "
+            f"but the largest device holds {largest_device}"
+        )
+    else:
+        # Packing failed, not a single-shard overflow: either the total
+        # exceeds the cluster or best-fit fragmentation leaves some shard
+        # without a device — phrase it so both cases read true.
+        detail = (
+            f"its {job.plan.num_shards} shards ({total_working} working bytes "
+            f"in total, largest: shard {widest.index} at "
+            f"{widest.working_bytes}) cannot be packed onto the cluster's "
+            f"devices ({cluster.total_memory_bytes} bytes across "
+            f"{len(cluster)} devices)"
+        )
+    return SchedulingError(
+        f"job {job.model_id!r} does not fit the cluster even when it runs "
+        f"alone: {detail}; consider spill_aware_placement (the "
+        f"'spilled-shard-parallel' strategy) to keep idle shards in host memory"
+    )
+
+
 def plan_waves(jobs: Sequence[TrainingJob], cluster: Cluster) -> List[List[TrainingJob]]:
     """Group jobs into waves such that each wave's resident shards fit the cluster.
 
     Jobs are considered in the given order; a job joins the current wave if
     its shards can be packed (best-fit by free memory) alongside the shards
     already in the wave, otherwise it starts the next wave.  A single job
-    that cannot fit on the empty cluster raises :class:`SchedulingError`.
+    that cannot fit on the empty cluster raises a :class:`SchedulingError`
+    naming the offending shard and pointing at
+    :func:`~repro.scheduler.spill.spill_aware_placement`.
     """
     waves: List[List[TrainingJob]] = []
     current: List[TrainingJob] = []
@@ -164,17 +203,13 @@ def plan_waves(jobs: Sequence[TrainingJob], cluster: Cluster) -> List[List[Train
             free = attempt
             continue
         if not current:
-            raise SchedulingError(
-                f"job {job.model_id!r} does not fit on the cluster even when it runs alone"
-            )
+            raise _unfit_job_error(job, cluster)
         waves.append(current)
         current = []
         free = {d.name: d.spec.memory_bytes for d in cluster.devices}
         attempt = fits(job, free)
         if attempt is None:
-            raise SchedulingError(
-                f"job {job.model_id!r} does not fit on the cluster even when it runs alone"
-            )
+            raise _unfit_job_error(job, cluster)
         current.append(job)
         free = attempt
     if current:

@@ -3,7 +3,12 @@
 from repro.training.metrics import MetricTracker, accuracy_from_logits
 from repro.training.trainer import Trainer, TrainingReport
 from repro.training.sharded_trainer import ShardedModelExecutor, ShardParallelTrainer
-from repro.training.checkpoint import save_checkpoint, load_checkpoint
+from repro.training.checkpoint import (
+    load_array_bundle,
+    load_checkpoint,
+    save_array_bundle,
+    save_checkpoint,
+)
 
 __all__ = [
     "MetricTracker",
@@ -14,4 +19,6 @@ __all__ = [
     "ShardParallelTrainer",
     "save_checkpoint",
     "load_checkpoint",
+    "save_array_bundle",
+    "load_array_bundle",
 ]

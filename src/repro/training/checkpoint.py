@@ -1,14 +1,74 @@
-"""Model checkpointing to ``.npz`` archives."""
+"""Model checkpointing to ``.npz`` archives.
+
+Archives are flat key/value stores of numpy arrays with a namespace prefix
+per section: ``param::<name>`` for model parameters, ``opt::<...>`` for
+optimizer state (step count and per-parameter moment arrays), and
+``meta::<key>`` for caller metadata.  The same serialization (via
+:func:`save_array_bundle` / :func:`load_array_bundle`) backs the host shard
+cache's disk tier in :mod:`repro.memory`, so a shard spilled to disk and a
+checkpoint on disk are the same format.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.exceptions import CheckpointError
 from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+#: archive key prefixes (one namespace per section)
+PARAM_PREFIX = "param::"
+OPT_PREFIX = "opt::"
+META_PREFIX = "meta::"
+
+
+def save_array_bundle(
+    path: str | Path, arrays: Dict[str, np.ndarray], compressed: bool = False
+) -> Path:
+    """Write a flat ``name -> array`` mapping to an ``.npz`` archive.
+
+    This is the serialization primitive shared by :func:`save_checkpoint`
+    and the disk tier of :class:`repro.memory.HostShardCache`.  Returns the
+    actual path written (numpy appends ``.npz`` when missing).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    writer = np.savez_compressed if compressed else np.savez
+    writer(path, **{name: np.asarray(values) for name, values in arrays.items()})
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_array_bundle(path: str | Path) -> Dict[str, np.ndarray]:
+    """Read back a ``name -> array`` mapping written by :func:`save_array_bundle`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise CheckpointError(f"archive {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _optimizer_param_names(model: Module, optimizer: Optimizer) -> Dict[int, str]:
+    """Map ``id(param) -> qualified name`` for the optimizer's parameters.
+
+    Every optimizer parameter must belong to the model, otherwise the saved
+    state could not be re-attached on load.
+    """
+    by_id = {id(param): name for name, param in model.named_parameters()}
+    names: Dict[int, str] = {}
+    for param in optimizer.parameters:
+        if id(param) not in by_id:
+            raise CheckpointError(
+                "optimizer holds a parameter that is not part of the model; "
+                "cannot serialise its state under a stable name"
+            )
+        names[id(param)] = by_id[id(param)]
+    return names
 
 
 def save_checkpoint(
@@ -16,6 +76,7 @@ def save_checkpoint(
     path: str | Path,
     metadata: Dict[str, object] | None = None,
     compressed: bool = False,
+    optimizer: Optional[Optimizer] = None,
 ) -> Path:
     """Write the model's parameters (and optional metadata) to ``path``.
 
@@ -23,35 +84,113 @@ def save_checkpoint(
     (``np.savez_compressed``) — markedly smaller artifacts for the
     model-hopping and selection examples, at a modest CPU cost on save.
     ``load_checkpoint`` reads both formats transparently.
+
+    With ``optimizer=...`` the archive additionally captures the full
+    optimizer state under ``opt::`` keys — the step count, the learning
+    rate, and every per-parameter state array (e.g. Adam's two moments) —
+    so spill/restore and mid-trial resume round-trip the *complete*
+    training state: training resumed from such a checkpoint is bit-identical
+    to training that never stopped.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     state = model.state_dict()
-    payload = {f"param::{name}": values for name, values in state.items()}
+    payload: Dict[str, np.ndarray] = {
+        f"{PARAM_PREFIX}{name}": values for name, values in state.items()
+    }
+    if optimizer is not None:
+        names = _optimizer_param_names(model, optimizer)
+        payload[f"{OPT_PREFIX}step_count"] = np.asarray(optimizer.step_count)
+        payload[f"{OPT_PREFIX}lr"] = np.asarray(optimizer.lr)
+        for param in optimizer.parameters:
+            per_param = optimizer.state.get(id(param), {})
+            for key in sorted(per_param):
+                payload[f"{OPT_PREFIX}{names[id(param)]}::{key}"] = per_param[key]
     if metadata:
         for key, value in metadata.items():
-            payload[f"meta::{key}"] = np.asarray(value)
-    writer = np.savez_compressed if compressed else np.savez
-    writer(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+            payload[f"{META_PREFIX}{key}"] = np.asarray(value)
+    return save_array_bundle(path, payload, compressed=compressed)
 
 
-def load_checkpoint(model: Module, path: str | Path) -> Dict[str, np.ndarray]:
-    """Restore parameters saved by :func:`save_checkpoint`; returns metadata."""
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    if not path.exists():
-        raise CheckpointError(f"checkpoint file {path} does not exist")
-    archive = np.load(path, allow_pickle=False)
+def load_checkpoint(
+    model: Module,
+    path: str | Path,
+    optimizer: Optional[Optimizer] = None,
+) -> Dict[str, np.ndarray]:
+    """Restore parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    With ``optimizer=...`` the optimizer's step count, learning rate, and
+    per-parameter state arrays are restored as well; the archive must have
+    been written with an optimizer (:class:`~repro.exceptions.CheckpointError`
+    otherwise).  State arrays are matched to parameters by qualified name,
+    so the optimizer must hold the model's parameters.
+    """
+    archive = load_array_bundle(path)
     state = {}
     metadata = {}
-    for key in archive.files:
-        if key.startswith("param::"):
-            state[key[len("param::"):]] = archive[key]
-        elif key.startswith("meta::"):
-            metadata[key[len("meta::"):]] = archive[key]
+    opt_entries: Dict[str, np.ndarray] = {}
+    for key, values in archive.items():
+        if key.startswith(PARAM_PREFIX):
+            state[key[len(PARAM_PREFIX):]] = values
+        elif key.startswith(META_PREFIX):
+            metadata[key[len(META_PREFIX):]] = values
+        elif key.startswith(OPT_PREFIX):
+            opt_entries[key[len(OPT_PREFIX):]] = values
     if not state:
         raise CheckpointError(f"checkpoint {path} contains no parameters")
+    # Validate the whole archive before mutating anything — a caller that
+    # catches the CheckpointError must not be left with a torn restore
+    # (checkpoint weights next to stale or cleared optimizer moments).
+    apply_optimizer = None
+    if optimizer is not None:
+        if not opt_entries:
+            raise CheckpointError(
+                f"checkpoint {path} contains no optimizer state; save it with "
+                "save_checkpoint(..., optimizer=optimizer)"
+            )
+        apply_optimizer = _resolve_optimizer_state(model, optimizer, opt_entries)
     model.load_state_dict(state)
+    if apply_optimizer is not None:
+        apply_optimizer()
     return metadata
+
+
+def _resolve_optimizer_state(
+    model: Module, optimizer: Optimizer, entries: Dict[str, np.ndarray]
+):
+    """Validate ``opt::`` entries; return a zero-argument applier."""
+    names = _optimizer_param_names(model, optimizer)
+    by_name = {name: param for param, name in
+               ((p, names[id(p)]) for p in optimizer.parameters)}
+    if "step_count" not in entries or "lr" not in entries:
+        raise CheckpointError(
+            "optimizer section is incomplete (missing step_count/lr); the "
+            "archive was not written by save_checkpoint(..., optimizer=...)"
+        )
+    step_count = int(entries["step_count"])
+    lr = float(entries["lr"])
+    resolved = []
+    for key, values in entries.items():
+        if key in ("step_count", "lr"):
+            continue
+        param_name, _, state_key = key.rpartition("::")
+        if param_name not in by_name:
+            raise CheckpointError(
+                f"optimizer state {key!r} names parameter {param_name!r}, "
+                "which the optimizer does not hold"
+            )
+        param = by_name[param_name]
+        if values.shape != param.data.shape:
+            raise CheckpointError(
+                f"optimizer state {key!r}: shape {values.shape} does not match "
+                f"parameter shape {param.data.shape}"
+            )
+        resolved.append((param, state_key, values))
+
+    def apply() -> None:
+        optimizer.step_count = step_count
+        optimizer.lr = lr
+        optimizer.state.clear()
+        for param, state_key, values in resolved:
+            optimizer.state.setdefault(id(param), {})[state_key] = values.copy()
+
+    return apply

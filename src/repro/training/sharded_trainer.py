@@ -13,22 +13,34 @@ parity tests/benchmark verify.
 several executors at shard-task granularity in a Hydra-like interleaved
 order over a set of simulated devices, so the examples can show real
 training happening under shard parallelism.
+
+Both opt into *spilled* execution through a
+:class:`~repro.memory.spill.SpillManager` (see ``docs/memory.md``): bound
+executors lease each shard around every use (forward / loss / backward +
+update) instead of assuming residency, announce their access schedule for
+schedule-aware eviction, prefetch the next shard while the current one
+computes, and apply the optimizer *per shard* while it is pinned — which is
+bit-identical to a whole-model step because each parameter's update depends
+only on its own gradient, state, and the shared step counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.data.dataloader import Batch, DataLoader
-from repro.exceptions import SchedulingError
+from repro.exceptions import ConfigurationError, SchedulingError
 from repro.models.base import ShardableModel
 from repro.optim.optimizer import Optimizer
 from repro.training.metrics import MetricTracker
 from repro.training.trainer import TrainingReport
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an api/training cycle
+    from repro.memory.spill import SpillManager
 
 
 def _detach_state(state: Any) -> Any:
@@ -74,6 +86,10 @@ class ShardedModelExecutor:
         self._validate_boundaries()
         self._contexts: List[_ShardContext] = []
         self._loss: Optional[Tensor] = None
+        self._memory: Optional["SpillManager"] = None
+        self._memory_optimizer: Optional[Optimizer] = None
+        self._memory_model_id: Optional[str] = None
+        self._advance_pending = False
 
     def _validate_boundaries(self) -> None:
         expected = 0
@@ -94,12 +110,92 @@ class ShardedModelExecutor:
         return len(self.boundaries)
 
     # ------------------------------------------------------------------ #
+    # Spilled execution (opt-in)
+    # ------------------------------------------------------------------ #
+    def bind_memory(
+        self,
+        manager: "SpillManager",
+        optimizer: Optimizer,
+        model_id: Optional[str] = None,
+        device_of: Optional[Callable[[int], str]] = None,
+    ) -> None:
+        """Route every shard access through a spill manager.
+
+        Registers each shard with its arena (``device_of`` maps shard index
+        to arena name; default: round-robin over the manager's arenas) and
+        its byte footprint — parameter bytes plus the optimizer's per-scalar
+        state bytes.  From then on forward/loss/backward lease the shard
+        (restoring it from host when evicted), the next shard is prefetched
+        while the current one computes, and the optimizer update runs *per
+        shard* inside its backward lease, so no more than one of this
+        model's shards needs to be resident per device at a time.
+        """
+        model_id = model_id if model_id is not None else self.model.model_name
+        names = manager.arena_names
+        if device_of is None:
+            device_of = lambda shard_index: names[shard_index % len(names)]  # noqa: E731
+        # ``state_bytes_per_parameter`` counts float32 scalars (4 bytes each);
+        # the actual state arrays are ``zeros_like(param)``, so what matters
+        # is how many param-shaped arrays the optimizer keeps — charging
+        # ``count × param.nbytes`` stays honest for float64 parameters too.
+        state_arrays = (optimizer.state_bytes_per_parameter + 3) // 4
+        for shard_index in range(self.num_shards):
+            params = self.shard_parameters(shard_index)
+            nbytes = sum(p.data.nbytes for p in params) * (1 + state_arrays)
+            manager.register(
+                (model_id, shard_index),
+                device_of(shard_index),
+                nbytes,
+                self._shard_arrays_fn(params, optimizer),
+            )
+        self._memory = manager
+        self._memory_optimizer = optimizer
+        self._memory_model_id = model_id
+
+    @staticmethod
+    def _shard_arrays_fn(params: List, optimizer: Optimizer):
+        """Stable-order view of a shard's live arrays (params, then state)."""
+
+        def arrays() -> List[np.ndarray]:
+            collected: List[np.ndarray] = []
+            for param in params:
+                collected.append(param.data)
+                state = optimizer.state.get(id(param))
+                if state:
+                    collected.extend(state[key] for key in sorted(state))
+            return collected
+
+        return arrays
+
+    @property
+    def updates_inline(self) -> bool:
+        """Whether optimizer updates happen per shard inside ``run_backward``."""
+        return self._memory is not None
+
+    def _shard_key(self, shard_index: int) -> Tuple[str, int]:
+        return (self._memory_model_id, shard_index)
+
+    def _announce_schedule(self) -> None:
+        """Declare this batch's access order: forward chain, the loss's lease
+        of the final shard, then the backward chain — every acquire consumes
+        one announced slot, so the loss access must appear or the
+        schedule-aware policy would see the final shard as hop-less right
+        before its backward and evict exactly the shard needed next."""
+        forward = [self._shard_key(i) for i in range(self.num_shards)]
+        loss = [self._shard_key(self.num_shards - 1)]
+        backward = [self._shard_key(i) for i in reversed(range(self.num_shards))]
+        self._memory.announce(self._memory_model_id, forward + loss + backward)
+
+    # ------------------------------------------------------------------ #
     # Fine-grained task API (mirrors the scheduler's FORWARD/BACKWARD/UPDATE)
     # ------------------------------------------------------------------ #
     def begin_batch(self) -> None:
         """Reset per-batch activation stashes."""
         self._contexts = [_ShardContext() for _ in self.boundaries]
         self._loss = None
+        if self._memory is not None:
+            self._advance_pending = True
+            self._announce_schedule()
 
     def end_batch(self) -> None:
         """Drop the activation stashes and loss of the finished batch.
@@ -113,7 +209,20 @@ class ShardedModelExecutor:
         self._loss = None
 
     def run_forward(self, shard_index: int, batch: Batch) -> Any:
-        """Forward pass of one shard; stores the boundary input and output."""
+        """Forward pass of one shard; stores the boundary input and output.
+
+        With a bound spill manager the shard is leased for the duration of
+        the pass (restored from host if evicted) and the *next* shard's
+        fetch is kicked off first so it overlaps this shard's compute.
+        """
+        if self._memory is None:
+            return self._forward_body(shard_index, batch)
+        with self._memory.lease(self._shard_key(shard_index)):
+            if shard_index + 1 < self.num_shards:
+                self._memory.prefetch(self._shard_key(shard_index + 1))
+            return self._forward_body(shard_index, batch)
+
+    def _forward_body(self, shard_index: int, batch: Batch) -> Any:
         context = self._contexts[shard_index]
         if shard_index == 0:
             state: Any = None
@@ -129,12 +238,38 @@ class ShardedModelExecutor:
 
     def compute_loss(self, batch: Batch) -> Tensor:
         """Loss on the final shard's output (graph still attached to that shard only)."""
-        final_output = self._contexts[-1].output
-        self._loss = self.model.compute_loss(final_output, batch)
-        return self._loss
+        if self._memory is None:
+            final_output = self._contexts[-1].output
+            self._loss = self.model.compute_loss(final_output, batch)
+            return self._loss
+        # Leased in case the loss head reads parameters of the final shard.
+        with self._memory.lease(self._shard_key(self.num_shards - 1)):
+            final_output = self._contexts[-1].output
+            self._loss = self.model.compute_loss(final_output, batch)
+            return self._loss
 
     def run_backward(self, shard_index: int) -> None:
-        """Backward pass of one shard, consuming the downstream boundary gradient."""
+        """Backward pass of one shard, consuming the downstream boundary gradient.
+
+        With a bound spill manager the shard is leased for the pass, the
+        *previous* shard's fetch is started first (it is the next one the
+        backward chain needs), and the shard's optimizer update runs inline
+        before the lease ends — the only window in which its parameters,
+        gradients, and optimizer state are all guaranteed resident.
+        """
+        if self._memory is None:
+            self._backward_body(shard_index)
+            return
+        with self._memory.lease(self._shard_key(shard_index)):
+            if shard_index > 0:
+                self._memory.prefetch(self._shard_key(shard_index - 1))
+            self._backward_body(shard_index)
+            if self._advance_pending:
+                self._memory_optimizer.advance_step()
+                self._advance_pending = False
+            self._memory_optimizer.step_params(self.shard_parameters(shard_index))
+
+    def _backward_body(self, shard_index: int) -> None:
         context = self._contexts[shard_index]
         if shard_index == self.num_shards - 1:
             if self._loss is None:
@@ -173,7 +308,17 @@ class ShardedModelExecutor:
     # Whole-step convenience
     # ------------------------------------------------------------------ #
     def train_step(self, batch: Batch, optimizer: Optimizer) -> float:
-        """One full sharded optimisation step (forward chain, loss, backward chain, update)."""
+        """One full sharded optimisation step (forward chain, loss, backward chain, update).
+
+        Under a bound spill manager the update happens per shard inside each
+        backward lease (bit-identical arithmetic; see :meth:`bind_memory`),
+        so no whole-model ``optimizer.step`` runs here.
+        """
+        if self._memory is not None and optimizer is not self._memory_optimizer:
+            raise ConfigurationError(
+                "train_step received a different optimizer than bind_memory; "
+                "spilled updates must go through the registered optimizer"
+            )
         self.begin_batch()
         self.model.zero_grad()
         for shard_index in range(self.num_shards):
@@ -181,7 +326,8 @@ class ShardedModelExecutor:
         loss = self.compute_loss(batch)
         for shard_index in reversed(range(self.num_shards)):
             self.run_backward(shard_index)
-        optimizer.step()
+        if not self.updates_inline:
+            optimizer.step()
         loss_value = loss.item()
         self.end_batch()
         return loss_value
@@ -218,12 +364,21 @@ class ShardParallelTrainer:
     shard tasks in a round-robin over models — the numerical results are
     independent of the interleaving because models share no state, which is
     exactly why Hydra's fine-grained schedule is safe.
+
+    With ``memory_manager`` set, every registered model executes *spilled*:
+    shards are leased through the manager around each task (shard ``i`` of
+    model ``j`` charges the arena of its device, ``arena_names[(i + j) %
+    len(arena_names)]``), optimizer updates happen per shard inside the
+    backward lease, and idle shards are evicted to the host cache under
+    memory pressure — which is how models whose resident bytes exceed every
+    device budget still train, bit-identically to fully-resident runs.
     """
 
-    def __init__(self, num_devices: int = 2):
+    def __init__(self, num_devices: int = 2, memory_manager: Optional["SpillManager"] = None):
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = int(num_devices)
+        self.memory = memory_manager
         self._slots: List[_ModelSlot] = []
 
     def add_model(
@@ -241,6 +396,14 @@ class ShardParallelTrainer:
         shard_devices = [
             (shard + slot_index) % self.num_devices for shard in range(executor.num_shards)
         ]
+        if self.memory is not None:
+            names = self.memory.arena_names
+            executor.bind_memory(
+                self.memory,
+                optimizer,
+                model_id=model_id,
+                device_of=lambda shard: names[shard_devices[shard] % len(names)],
+            )
         self._slots.append(
             _ModelSlot(
                 model_id=model_id,
@@ -302,7 +465,10 @@ class ShardParallelTrainer:
                     slot.executor.run_backward(cursors[index])
                     cursors[index] -= 1
                     if cursors[index] < 0:
-                        slot.optimizer.step()
+                        # Spilled executors already updated each shard inside
+                        # its backward lease (the only window it is resident).
+                        if not slot.executor.updates_inline:
+                            slot.optimizer.step()
                         # Free the finished batch's activation stashes before
                         # the next fetch so peak memory spans one batch, not two.
                         slot.executor.end_batch()
