@@ -61,6 +61,7 @@ _API_EXPORTS = (
     "WorkerPool",
     "make_pool",
     "make_searcher",
+    "serve",
 )
 
 

@@ -19,6 +19,12 @@ can stop trials early.  The :mod:`~repro.api.runtime` subsystem adds
 concurrent, fault-tolerant trial execution to any backend:
 ``Experiment.run(backend=..., workers=N)`` fans each cohort out across a
 :class:`~repro.api.runtime.WorkerPool` (see ``docs/runtime.md``).
+
+Selection's output feeds straight into online inference: :func:`serve`
+deploys a model behind a dynamically batched replica pool
+(:mod:`repro.serving`), and ``SelectionResult.deploy`` rebuilds an
+experiment's winner — weights from a :class:`~repro.serving.ModelRegistry`
+— and serves it (see ``docs/serving.md``).
 """
 
 from repro.api.backend import CohortEngineBackend, ExecutionBackend, TrialHandle
@@ -48,6 +54,7 @@ from repro.api.callbacks import (
     TrialTimer,
 )
 from repro.api.experiment import Budget, Experiment, TrialRunner
+from repro.api.serving import serve
 from repro.api.searchers import (
     FixedSearcher,
     GridSearcher,
@@ -89,4 +96,5 @@ __all__ = [
     "WorkerPool",
     "make_pool",
     "make_searcher",
+    "serve",
 ]

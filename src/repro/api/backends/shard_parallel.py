@@ -32,6 +32,7 @@ from repro.memory import DeviceArena, HostShardCache, Prefetcher, SpillManager
 from repro.models.base import ShardableModel
 from repro.optim.optimizer import Optimizer
 from repro.selection.experiment import TrialConfig
+from repro.serving.registry import ModelRegistry
 from repro.sharding.partitioner import partition_uniform
 from repro.training.sharded_trainer import ShardParallelTrainer
 
@@ -69,6 +70,12 @@ class ShardParallelBackend(CohortEngineBackend):
     ``eviction_policy`` is ``"lru"`` or ``"schedule-aware"``; ``prefetch``
     overlaps the next shard's restore with the current shard's compute.
 
+    ``registry`` (a :class:`~repro.serving.ModelRegistry`) publishes every
+    trial's final parameters — under the trial id, with its last metrics and
+    epoch count as metadata — when the trial is retired, *after* any
+    evicted shards are restored.  That is the hand-off
+    ``SelectionResult.deploy`` loads the winner's weights from.
+
     Raises:
         ConfigurationError: if ``num_devices`` is not positive, or the
             memory-budget options are invalid.
@@ -87,12 +94,14 @@ class ShardParallelBackend(CohortEngineBackend):
         prefetch: bool = True,
         spill_dir: Optional[str] = None,
         host_cache_limit_bytes: Optional[int] = None,
+        registry: Optional[ModelRegistry] = None,
     ):
         if num_devices <= 0:
             raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
         self.builder = builder
         self.num_devices = int(num_devices)
         self.num_shards = num_shards
+        self.registry = registry
         self._memory_options = {
             "memory_budget": memory_budget,
             "eviction_policy": eviction_policy,
@@ -155,6 +164,7 @@ class ShardParallelBackend(CohortEngineBackend):
             builder=self.builder,
             num_devices=self.num_devices,
             num_shards=self.num_shards,
+            registry=self.registry,
             **options,
         )
 
@@ -203,8 +213,20 @@ class ShardParallelBackend(CohortEngineBackend):
         """Release the trial's live objects and its spill-manager bookkeeping.
 
         Evicted shards are restored into the model first, so a caller who
-        kept a reference to the trial's model sees its true parameters.
+        kept a reference to the trial's model sees its true parameters —
+        and so the registry (when configured) publishes the *trained*
+        weights, not a host-cache shadow of them.
         """
         if self.memory is not None:
             self.memory.forget_model(handle.trial_id)
+        # Failed trials (fault-tolerant runtime) publish nothing: their
+        # parameters are torn mid-training, and a later registry.load would
+        # silently serve them as if they were the trial's trained weights.
+        if self.registry is not None and handle.state is not None and handle.failure is None:
+            state: _TrialState = handle.state
+            metadata = {"epochs_trained": handle.epochs_trained}
+            metadata.update(
+                {f"metric::{name}": value for name, value in handle.last_metrics.items()}
+            )
+            self.registry.publish(handle.trial_id, state.model, metadata=metadata)
         super().teardown(handle)

@@ -1,0 +1,119 @@
+"""``repro.api.serve`` — the declarative front door to online inference.
+
+One call turns a (trained) model into a running
+:class:`~repro.serving.ModelServer`: replica construction, sharding and
+spill-manager plumbing for over-memory models, and batching configuration
+all happen here, mirroring how ``Experiment.run(memory_budget=...)`` hides
+the training-side spill wiring.  ``SelectionResult.deploy`` composes this
+with the :class:`~repro.serving.ModelRegistry` to go from an experiment's
+winner to a server in one step (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import ShardableModel
+from repro.serving.replica import Replica
+from repro.serving.server import ModelServer
+
+#: what ``serve`` accepts: a live model, or a zero-argument factory that
+#: builds one fresh copy per replica
+ModelSource = Union[ShardableModel, Callable[[], ShardableModel]]
+
+
+def serve(
+    model: ModelSource,
+    replicas: int = 1,
+    max_batch_size: int = 8,
+    max_wait_ms: float = 2.0,
+    max_queue: int = 64,
+    timeout_ms: Optional[float] = None,
+    compute_batch_size: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    eviction_policy: str = "schedule-aware",
+    prefetch: bool = True,
+    spill_dir: Optional[str] = None,
+    name: str = "server",
+    start: bool = True,
+) -> ModelServer:
+    """Deploy ``model`` behind a dynamically batched replica pool.
+
+    ``model`` is a live :class:`~repro.models.base.ShardableModel` — shared
+    read-only by every replica — or a zero-argument factory called once per
+    replica (required when replicas must not share parameter arrays, e.g.
+    spilled serving with more than one replica).
+
+    ``memory_budget`` (bytes) opts each replica into *spilled* serving: the
+    model is cut into ``num_shards`` shards (default: one per block) and
+    served through a private :class:`~repro.memory.SpillManager` whose
+    single arena holds ``memory_budget`` bytes — over-memory models answer
+    bit-identically to resident ones from a bounded device footprint.
+
+    The remaining knobs configure the :class:`~repro.serving.ModelServer`:
+    ``max_batch_size``/``max_wait_ms`` bound the dynamic batcher,
+    ``max_queue`` bounds admission, ``timeout_ms`` sets the default
+    per-request deadline, and ``compute_batch_size`` fixes the execution
+    geometry (default ``max_batch_size``) — servers sharing weights and
+    geometry answer bit-identically regardless of batching.
+
+    With ``start=True`` (default) the server is already running; use it as
+    a context manager or call ``stop()`` when done.
+
+    Example::
+
+        server = serve(model, max_batch_size=8, max_wait_ms=2.0)
+        logits = server.request({"features": x})
+        server.stop()
+
+    Raises:
+        ConfigurationError: for invalid counts/budgets, or ``replicas > 1``
+            with ``memory_budget`` but no model factory (spilled replicas
+            each need their own parameter copy).
+    """
+    if replicas <= 0:
+        raise ConfigurationError(f"replicas must be positive, got {replicas}")
+    factory: Optional[Callable[[], ShardableModel]]
+    if callable(model) and not isinstance(model, ShardableModel):
+        factory = model
+    else:
+        factory = None
+    if memory_budget is not None and replicas > 1 and factory is None:
+        raise ConfigurationError(
+            "spilled serving with multiple replicas needs a model factory: "
+            "each replica's spill manager evicts/restores its own parameter "
+            "arrays, so replicas cannot share one model object — pass "
+            "serve(lambda: build_model(), ...) instead of a live model"
+        )
+
+    built = []
+    for index in range(replicas):
+        instance = factory() if factory is not None else model
+        replica_name = f"{name}/replica{index}"
+        if memory_budget is not None:
+            built.append(
+                Replica.spilled(
+                    instance,
+                    memory_budget=memory_budget,
+                    num_shards=num_shards,
+                    eviction_policy=eviction_policy,
+                    prefetch=prefetch,
+                    spill_dir=spill_dir,
+                    name=replica_name,
+                )
+            )
+        else:
+            built.append(Replica.resident(instance, name=replica_name))
+
+    server = ModelServer(
+        built,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        max_queue=max_queue,
+        timeout_ms=timeout_ms,
+        compute_batch_size=compute_batch_size,
+        name=name,
+    )
+    return server.start() if start else server

@@ -65,3 +65,23 @@ class SearchSpaceError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised when saving or restoring a checkpoint fails."""
+
+
+class ServingError(ReproError):
+    """Base class for online-inference (``repro.serving``) failures."""
+
+
+class ServerOverloadedError(ServingError):
+    """Raised when a request is rejected by bounded-queue admission control.
+
+    The server's queue is at capacity; the client should back off and retry
+    (closed-loop load generators count these as rejections).
+    """
+
+
+class RequestTimeoutError(ServingError):
+    """Raised when a request misses its deadline before a response lands.
+
+    Either the request expired while queued (the server drops it without
+    running inference) or the caller's ``result(timeout=...)`` wait ran out.
+    """

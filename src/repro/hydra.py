@@ -201,6 +201,7 @@ def run_model_selection(
     objective: str = "loss",
     mode: str = "min",
     workers: Optional[int] = None,
+    registry=None,
 ) -> SelectionResult:
     """Really train a set of candidate models with shard-parallel interleaving.
 
@@ -216,6 +217,14 @@ def run_model_selection(
     becomes a :class:`~repro.selection.experiment.FailedTrial` in the result
     rather than aborting the run.
 
+    ``registry`` (a :class:`~repro.serving.ModelRegistry`) publishes every
+    candidate's trained parameters under its trial id, so the winner can be
+    deployed afterwards::
+
+        result = run_model_selection(builders, registry=registry)
+        server = result.deploy(lambda t: builders[t.trial_id]()[0],
+                               registry=registry)
+
     This is a facade over :class:`repro.api.Experiment` with a
     :class:`repro.api.ShardParallelBackend` and a fixed trial list.
     """
@@ -230,6 +239,7 @@ def run_model_selection(
         builder=lambda trial: builders[trial.trial_id](),
         num_devices=num_devices,
         num_shards=num_shards,
+        registry=registry,
     )
     experiment = Experiment(
         searcher=FixedSearcher(trials, method="hydra_shard_parallel"),

@@ -14,7 +14,7 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.data.dataloader import Batch
 from repro.nn.module import Module
 from repro.profiling.cost_model import ModelProfile
@@ -74,8 +74,9 @@ class ShardableModel(Module):
         return list(self.block_modules()[index].parameters())
 
     def accuracy_on_batch(self, batch: Batch, label_field: str = "label") -> float:
-        """Fraction of correct hard predictions on one batch."""
-        outputs = self.forward(batch)
+        """Fraction of correct hard predictions on one batch (under ``no_grad``)."""
+        with no_grad():
+            outputs = self.forward(batch)
         predictions = self.predict(outputs)
         labels = np.asarray(batch[label_field])
         return float((predictions == labels).mean())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.optim.optimizer import Optimizer
 
 
@@ -22,6 +24,38 @@ class LRScheduler:
 
     def compute_lr(self, step: int) -> float:  # pragma: no cover - interface
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, float]:
+        """Serialisable snapshot of the schedule's dynamic state.
+
+        ``step_count`` is where the schedule is; ``base_lr`` is the anchor
+        every ``compute_lr`` derives from (captured at construction, so it
+        must survive a round trip through a *fresh* optimizer whose ``lr``
+        is mid-schedule).  Static shape parameters (warmup steps, decay
+        intervals) are constructor arguments, not state — rebuilding the
+        same schedule is the caller's job, exactly as for model
+        architecture versus parameters.
+        """
+        return {"step_count": self.step_count, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        """Restore a snapshot written by :meth:`state_dict`.
+
+        Mid-trial resume is bit-identical: the next :meth:`step` computes
+        ``compute_lr(step_count + 1)`` from the restored counter and base
+        rate, exactly the value the uninterrupted run would have produced.
+        """
+        missing = {"step_count", "base_lr"} - set(state)
+        if missing:
+            raise KeyError(
+                f"scheduler state is missing {sorted(missing)}; expected a "
+                "snapshot from LRScheduler.state_dict()"
+            )
+        self.step_count = int(state["step_count"])
+        self.base_lr = float(state["base_lr"])
 
 
 class ConstantLR(LRScheduler):

@@ -82,6 +82,56 @@ class SelectionResult:
             self.succeeded(), key=lambda t: t.metric(self.objective), reverse=reverse
         )
 
+    def deploy(
+        self,
+        builder,
+        registry=None,
+        version: Optional[int] = None,
+        trial: Optional[TrialResult] = None,
+        **serve_options,
+    ):
+        """Serve a trial of this experiment (the best one by default).
+
+        ``builder`` rebuilds the trial's model from its recorded
+        configuration — the same callable an engine backend uses,
+        ``builder(TrialConfig) -> model`` or ``-> (model, optimizer,
+        loader)``; only the model is used.  With ``registry`` (a
+        :class:`~repro.serving.ModelRegistry`) the trial's published
+        parameters — written by ``ShardParallelBackend(registry=...)`` when
+        the trial retired — are loaded into the rebuilt model, so the
+        served weights are exactly the trained ones.  Without a registry
+        the builder's own parameters serve (useful when the builder loads
+        weights itself).
+
+        ``serve_options`` are forwarded to :func:`repro.api.serve`
+        (``replicas``, ``max_batch_size``, ``memory_budget``, ...); the
+        returned :class:`~repro.serving.ModelServer` is already running.
+
+        Example::
+
+            result = experiment.run(backend=backend)
+            with result.deploy(build, registry=registry, max_batch_size=8) as server:
+                prediction = server.request({"features": x})
+
+        Raises:
+            SearchSpaceError: when the run has no successful trial to deploy.
+            CheckpointError: when the registry has no published version for
+                the trial.
+        """
+        # Imported lazily: repro.api (and through it repro.serving) imports
+        # this module during package initialisation.
+        from repro.api.serving import serve
+
+        chosen = trial if trial is not None else self.best()
+        config = TrialConfig(
+            trial_id=chosen.trial_id, hyperparameters=dict(chosen.hyperparameters)
+        )
+        built = builder(config)
+        model = built[0] if isinstance(built, tuple) else built
+        if registry is not None:
+            registry.load(chosen.trial_id, model, version=version)
+        return serve(model, **serve_options)
+
     def __len__(self) -> int:
         return len(self.trials)
 

@@ -1,0 +1,54 @@
+"""Online inference: from a selected model to answered requests.
+
+The paper's pipeline ends when model selection picks a winner; this package
+is the production half the ROADMAP asks for — deploying that winner and
+serving traffic against it (see ``docs/serving.md``):
+
+* :class:`ModelRegistry` — versioned published checkpoints (the
+  training→serving hand-off, in the same ``.npz`` serialization as
+  checkpoints and disk-spilled shards);
+* :class:`DynamicBatcher` — bounded-queue admission control plus
+  micro-batch coalescing under ``max_batch_size`` / ``max_wait_ms``;
+* :class:`Replica` — one servable model copy, fully resident or *spilled*
+  (a sharded executor leasing shards through its own
+  :class:`~repro.memory.SpillManager`, so over-memory models serve from a
+  single device budget);
+* :class:`ModelServer` — a replica pool on the runtime's
+  :class:`~repro.api.runtime.pool.WorkerPool`, with per-request deadlines
+  and p50/p95/p99 latency + throughput metrics;
+* :class:`LoadGenerator` — closed-loop clients for load tests and the E13
+  benchmark.
+
+Exactness is the core contract, inherited from the training side: replicas
+run every forward at one fixed compute geometry, so batched responses are
+``array_equal`` to unbatched single-request forwards, and spilled replicas
+answer bit-identically to resident ones.
+
+The declarative entry points live one layer up:
+:func:`repro.api.serve` builds a server from a model, and
+``SelectionResult.deploy`` goes straight from an experiment's winner
+(rebuilt via the caller's builder, weights from the registry) to a running
+server.
+"""
+
+from repro.serving.batcher import DynamicBatcher, InferenceRequest, PendingResponse
+from repro.serving.loadgen import LoadGenerator, LoadReport, warm_up
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.replica import Replica
+from repro.serving.server import ModelServer
+from repro.serving.stats import LatencyStats, latency_summary
+
+__all__ = [
+    "DynamicBatcher",
+    "InferenceRequest",
+    "LatencyStats",
+    "LoadGenerator",
+    "LoadReport",
+    "ModelRegistry",
+    "ModelServer",
+    "ModelVersion",
+    "PendingResponse",
+    "Replica",
+    "latency_summary",
+    "warm_up",
+]

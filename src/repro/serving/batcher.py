@@ -1,0 +1,263 @@
+"""Dynamic micro-batching: coalesce queued requests without reordering them.
+
+Online traffic arrives one small request at a time, but the engine is far
+more efficient per row on a full micro-batch.  The :class:`DynamicBatcher`
+sits between the two: requests enter a bounded FIFO queue (admission
+control — a full queue *rejects* instead of growing without bound), and
+replica threads pull *micro-batches*: up to ``max_batch_size`` rows,
+collected for at most ``max_wait_ms`` after the first request of the batch
+arrived.  An idle server therefore answers a lone request after at most
+``max_wait_ms`` of batching delay, while a loaded server fills whole
+batches instantly.
+
+Requests are never split across batches and never reordered: collection
+walks the queue front-to-back and stops at the first request that does not
+fit, so responses complete in submission order per batch.  Requests whose
+deadline passes while queued are failed with
+:class:`~repro.exceptions.RequestTimeoutError` *before* inference runs —
+a dead client's work is dropped, not computed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.stats import LatencyStats
+
+
+class PendingResponse:
+    """The caller-side handle of one in-flight request.
+
+    Completed exactly once by the serving machinery, either with the
+    request's output rows or with an exception (timeout, overload at drain,
+    replica failure).  ``result`` blocks the calling thread — the closed-loop
+    client model — with an optional wait bound of its own.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether a result or error has landed."""
+        return self._event.is_set()
+
+    def set_result(self, value: Any) -> None:
+        """Complete the response with the request's output rows."""
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        """Complete the response with a failure."""
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The request's output rows; raises what the request failed with.
+
+        ``timeout`` (seconds) bounds the wait; running out raises
+        :class:`~repro.exceptions.RequestTimeoutError`.
+        """
+        if not self._event.wait(timeout):
+            raise RequestTimeoutError(
+                f"no response within {timeout:.3f}s wait"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass
+class InferenceRequest:
+    """One queued inference request (internal to the serving machinery)."""
+
+    arrays: Dict[str, np.ndarray]
+    rows: int
+    submitted: float
+    deadline: Optional[float] = None
+    response: PendingResponse = field(default_factory=PendingResponse)
+
+    def expired(self, now: float) -> bool:
+        """Whether the request's deadline has passed."""
+        return self.deadline is not None and now >= self.deadline
+
+
+class DynamicBatcher:
+    """Bounded request queue with micro-batch collection (see module docstring).
+
+    Example::
+
+        batcher = DynamicBatcher(max_batch_size=8, max_wait_ms=2.0, max_queue=64)
+        batcher.submit(request)              # raises ServerOverloadedError when full
+        batch = batcher.next_batch()         # [InferenceRequest, ...] or None (closed)
+
+    Raises:
+        ConfigurationError: for non-positive limits, or a request larger
+            than ``max_batch_size`` rows (it could never be scheduled).
+        ServerOverloadedError: from :meth:`submit` when the queue is full.
+        ServingError: from :meth:`submit` after :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 64,
+        stats: Optional[LatencyStats] = None,
+    ):
+        if max_batch_size <= 0:
+            raise ConfigurationError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        if max_wait_ms < 0:
+            raise ConfigurationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue <= 0:
+            raise ConfigurationError(f"max_queue must be positive, got {max_queue}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self.max_queue = int(max_queue)
+        self.stats = stats
+        self._queue: List[InferenceRequest] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of requests currently queued."""
+        with self._cond:
+            return len(self._queue)
+
+    def submit(self, request: InferenceRequest) -> None:
+        """Enqueue one request; reject when the queue is at capacity."""
+        if request.rows <= 0:
+            raise ConfigurationError("a request must carry at least one row")
+        if request.rows > self.max_batch_size:
+            raise ConfigurationError(
+                f"request carries {request.rows} rows but max_batch_size is "
+                f"{self.max_batch_size}; split it client-side"
+            )
+        with self._cond:
+            if self._closed:
+                raise ServingError("server is stopped; no new requests accepted")
+            if len(self._queue) >= self.max_queue:
+                if self.stats is not None:
+                    self.stats.count(rejected=1)
+                raise ServerOverloadedError(
+                    f"request queue is full ({self.max_queue} pending); retry later"
+                )
+            self._queue.append(request)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def next_batch(self) -> Optional[List[InferenceRequest]]:
+        """Block until a micro-batch is ready; ``None`` once closed and drained.
+
+        The batch holds 1..``max_batch_size`` rows of whole requests in FIFO
+        order.  Collection waits up to ``max_wait_ms`` after the batch's
+        first request for more work, returning early when the batch is full
+        or the queue closes.
+        """
+        with self._cond:
+            while True:
+                # Phase 1: wait for the batch's first request (or closure).
+                self._expire_locked()
+                if not self._queue:
+                    if self._closed:
+                        return None
+                    self._cond.wait(timeout=self._poll_interval_locked())
+                    continue
+                # Phase 2: fill the batch for up to max_wait_ms, measured
+                # from when the batch's *head request arrived* — a request
+                # that already waited for a free replica is not made to wait
+                # the full window again.  Recomputed per iteration: another
+                # replica may take the head while we wait.
+                while self._queue:
+                    fill_deadline = self._queue[0].submitted + self.max_wait_seconds
+                    rows = self._collectable_rows_locked()
+                    remaining = fill_deadline - time.monotonic()
+                    if rows >= self.max_batch_size or remaining <= 0 or self._closed:
+                        return self._take_locked()
+                    self._cond.wait(timeout=min(remaining, self._poll_interval_locked()))
+                    self._expire_locked()
+                # Everything expired (or another replica drained the queue)
+                # while we waited for fill; start over from phase 1.
+
+    def close(self) -> None:
+        """Stop accepting requests; queued work remains drainable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def cancel_pending(self, error: Optional[BaseException] = None) -> int:
+        """Fail every queued request (used when a server stops without draining)."""
+        error = error if error is not None else ServingError("server stopped")
+        with self._cond:
+            cancelled = self._queue
+            self._queue = []
+            self._cond.notify_all()
+        for request in cancelled:
+            request.response.set_exception(error)
+        if cancelled and self.stats is not None:
+            self.stats.count(failed=len(cancelled))
+        return len(cancelled)
+
+    # ------------------------------------------------------------------ #
+    # Internals (call with the condition's lock held)
+    # ------------------------------------------------------------------ #
+    def _expire_locked(self) -> None:
+        now = time.monotonic()
+        overdue = [request for request in self._queue if request.expired(now)]
+        if not overdue:
+            return
+        self._queue = [request for request in self._queue if not request.expired(now)]
+        for request in overdue:
+            request.response.set_exception(
+                RequestTimeoutError(
+                    "request expired after "
+                    f"{now - request.submitted:.3f}s in the queue"
+                )
+            )
+        if self.stats is not None:
+            self.stats.count(timed_out=len(overdue))
+
+    def _poll_interval_locked(self) -> float:
+        """Wait granularity: wake early enough to expire the nearest deadline."""
+        now = time.monotonic()
+        deadlines = [
+            request.deadline - now
+            for request in self._queue
+            if request.deadline is not None
+        ]
+        nearest = min(deadlines) if deadlines else 0.05
+        return max(min(nearest, 0.05), 1e-4)
+
+    def _collectable_rows_locked(self) -> int:
+        rows = 0
+        for request in self._queue:
+            if rows + request.rows > self.max_batch_size:
+                break
+            rows += request.rows
+        return rows
+
+    def _take_locked(self) -> List[InferenceRequest]:
+        taken: List[InferenceRequest] = []
+        rows = 0
+        while self._queue and rows + self._queue[0].rows <= self.max_batch_size:
+            request = self._queue.pop(0)
+            taken.append(request)
+            rows += request.rows
+        self._cond.notify_all()
+        return taken

@@ -1,0 +1,170 @@
+"""Closed-loop load generation against a :class:`~repro.serving.ModelServer`.
+
+A closed-loop client sends one request, waits for its response, then sends
+the next — the standard model for latency benchmarking, because offered
+load self-regulates to what the server sustains instead of queueing without
+bound.  ``clients`` concurrent closed loops therefore hold at most
+``clients`` requests in flight, which is also exactly the pressure that
+lets the dynamic batcher fill micro-batches.
+
+Rejections (bounded-queue admission control) and timeouts are *outcomes*,
+not errors: the generator counts them and moves on, and the report carries
+the full accounting next to the latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import (
+    ConfigurationError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.server import ModelServer, RequestArrays
+from repro.serving.stats import latency_summary
+
+#: builds the arrays of one request: ``make_request(client_index, request_index)``
+RequestFactory = Callable[[int, int], RequestArrays]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    clients: int
+    duration_seconds: float
+    completed: int
+    rejected: int
+    timed_out: int
+    failed: int
+    #: completed requests per second over the run's wall-clock window
+    throughput_rps: float
+    #: p50/p95/p99/mean end-to-end latency in milliseconds
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report flattened to one plain dict (for benchmark JSON)."""
+        merged: Dict[str, float] = {
+            "clients": float(self.clients),
+            "duration_seconds": self.duration_seconds,
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "timed_out": float(self.timed_out),
+            "failed": float(self.failed),
+            "throughput_rps": self.throughput_rps,
+        }
+        merged.update(self.latency)
+        return merged
+
+
+class LoadGenerator:
+    """Drives ``clients`` concurrent closed loops against one server.
+
+    Each client issues ``requests_per_client`` requests back to back,
+    waiting for every response before the next submit.  ``make_request``
+    builds each request's arrays (vary it per client/index for realistic
+    traffic; return the same arrays for a pure-throughput run).
+
+    Example::
+
+        generator = LoadGenerator(server, lambda c, i: {"features": x},
+                                  clients=8, requests_per_client=25)
+        report = generator.run()
+        assert report.completed <= 8 * 25
+
+    Raises:
+        ConfigurationError: for non-positive ``clients`` or
+            ``requests_per_client``.
+    """
+
+    def __init__(
+        self,
+        server: ModelServer,
+        make_request: RequestFactory,
+        clients: int = 4,
+        requests_per_client: int = 25,
+        timeout_ms: Optional[float] = None,
+    ):
+        if clients <= 0:
+            raise ConfigurationError(f"clients must be positive, got {clients}")
+        if requests_per_client <= 0:
+            raise ConfigurationError(
+                f"requests_per_client must be positive, got {requests_per_client}"
+            )
+        self.server = server
+        self.make_request = make_request
+        self.clients = int(clients)
+        self.requests_per_client = int(requests_per_client)
+        self.timeout_ms = timeout_ms
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> LoadReport:
+        """Run every client loop to completion and aggregate the outcomes."""
+        # Imported lazily for the same api-cycle reason as ModelServer.start.
+        from repro.api.runtime.pool import ThreadWorkerPool
+
+        started = time.monotonic()
+        with ThreadWorkerPool(self.clients) as pool:
+            futures = [
+                pool.submit(self._client_loop, client)
+                for client in range(self.clients)
+            ]
+            outcomes = [future.result() for future in futures]
+        duration = time.monotonic() - started
+        latencies: List[float] = []
+        rejected = timed_out = failed = 0
+        for client_latencies, client_rejected, client_timed_out, client_failed in outcomes:
+            latencies.extend(client_latencies)
+            rejected += client_rejected
+            timed_out += client_timed_out
+            failed += client_failed
+        return LoadReport(
+            clients=self.clients,
+            duration_seconds=duration,
+            completed=len(latencies),
+            rejected=rejected,
+            timed_out=timed_out,
+            failed=failed,
+            throughput_rps=len(latencies) / max(duration, 1e-9),
+            latency=latency_summary(latencies),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _client_loop(self, client: int):
+        latencies: List[float] = []
+        rejected = timed_out = failed = 0
+        for index in range(self.requests_per_client):
+            arrays = self.make_request(client, index)
+            submitted = time.monotonic()
+            try:
+                self.server.request(arrays, timeout_ms=self.timeout_ms)
+            except ServerOverloadedError:
+                rejected += 1
+                # Closed-loop backpressure: yield briefly so the queue drains
+                # instead of hammering the admission check in a tight spin.
+                time.sleep(1e-3)
+            except RequestTimeoutError:
+                timed_out += 1
+            except ServingError:
+                failed += 1
+            else:
+                latencies.append(time.monotonic() - submitted)
+        return latencies, rejected, timed_out, failed
+
+
+def warm_up(server: ModelServer, arrays: RequestArrays, requests: int = 4) -> None:
+    """Prime a server (JIT-ish first-touch costs, spill restores) before timing.
+
+    Sends ``requests`` sequential requests and discards the responses, so
+    lazily allocated buffers and first-touch shard restores are off the
+    clock by the time a :class:`LoadGenerator` starts measuring.
+    """
+    for _ in range(int(requests)):
+        server.request(arrays)
+
+
+__all__ = ["LoadGenerator", "LoadReport", "RequestFactory", "warm_up"]

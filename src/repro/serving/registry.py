@@ -1,0 +1,229 @@
+"""The model registry: versioned checkpoints as the training→serving bridge.
+
+A :class:`ModelRegistry` is a directory of published model versions::
+
+    <root>/<name>/v0001/model.npz
+    <root>/<name>/v0002/model.npz
+    ...
+
+Each archive is an ordinary checkpoint written by
+:func:`repro.training.checkpoint.save_checkpoint` (``param::`` parameter
+arrays plus ``meta::`` metadata), so a published model, a mid-trial
+checkpoint, and a disk-spilled shard all share one serialization.  Training
+code publishes a trained model under a name; serving code builds a model of
+the same architecture and loads the published bytes back into it —
+bit-identical, which is what makes a spilled or replicated deployment
+reproduce the training-time outputs exactly.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.nn.module import Module
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+#: directory name for version ``n`` (zero-padded so lexical sort == numeric)
+_VERSION_DIR = "v{version:04d}"
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+_NAME_RE = re.compile(r"^[\w.-]+$")
+#: archive file inside each version directory
+_ARCHIVE = "model.npz"
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published model version: where it lives and what was recorded."""
+
+    name: str
+    version: int
+    path: Path
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def archive(self) -> Path:
+        """Path of the version's ``.npz`` checkpoint archive."""
+        return self.path / _ARCHIVE
+
+
+def _plain(value: np.ndarray) -> Any:
+    """Unwrap 0-d / single-element metadata arrays back to python scalars."""
+    array = np.asarray(value)
+    if array.shape == () or array.size == 1:
+        return array.reshape(()).item()
+    return array
+
+
+class ModelRegistry:
+    """Publishes and loads versioned model checkpoints under one root.
+
+    Publishing copies a model's parameters (plus caller metadata) into a new
+    version directory; loading copies a chosen version — the latest by
+    default — back into a caller-built model of the same architecture.
+    The registry is thread-safe: concurrent trials under the worker-pool
+    runtime can publish without clobbering each other's version numbers.
+
+    Example::
+
+        registry = ModelRegistry(tmp_path)
+        published = registry.publish("mlp", trained_model, metadata={"loss": 0.3})
+        restored = registry.load("mlp", fresh_model)          # latest version
+        assert restored.version == published.version
+
+    Raises:
+        ConfigurationError: for invalid model names or version numbers.
+        CheckpointError: for unknown names/versions, version collisions, or
+            archives whose parameters do not match the target model.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        name: str,
+        model: Module,
+        metadata: Optional[Dict[str, Any]] = None,
+        version: Optional[int] = None,
+        compressed: bool = False,
+    ) -> ModelVersion:
+        """Publish ``model``'s parameters as a new version of ``name``.
+
+        ``version`` defaults to one past the latest published version (1 for
+        a new name); passing an explicit number that already exists raises —
+        published versions are immutable.  ``metadata`` values must be
+        convertible by ``np.asarray`` (numbers, strings, small arrays).
+        """
+        self._check_name(name)
+        with self._lock:
+            if version is None:
+                existing = self.versions(name)
+                version = (existing[-1] + 1) if existing else 1
+            if version <= 0:
+                raise ConfigurationError(
+                    f"version must be positive, got {version}"
+                )
+            directory = self.root / name / _VERSION_DIR.format(version=version)
+            if directory.exists():
+                raise CheckpointError(
+                    f"model {name!r} version {version} is already published; "
+                    "published versions are immutable"
+                )
+            directory.mkdir(parents=True)
+            payload = {"model_name": getattr(model, "model_name", type(model).__name__)}
+            payload.update(metadata or {})
+            save_checkpoint(
+                model, directory / _ARCHIVE, metadata=payload, compressed=compressed
+            )
+            return ModelVersion(
+                name=name, version=version, path=directory, metadata=dict(payload)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Every model name with at least one published version, sorted.
+
+        Directories that are not valid model names (a pre-existing registry
+        root may contain unrelated entries) are skipped, not rejected.
+        """
+        with self._lock:
+            return sorted(
+                entry.name
+                for entry in self.root.iterdir()
+                if entry.is_dir()
+                and _NAME_RE.match(entry.name)
+                and self.versions(entry.name)
+            )
+
+    def versions(self, name: str) -> List[int]:
+        """Published version numbers of ``name``, ascending (empty if none)."""
+        self._check_name(name)
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+        found = []
+        for entry in directory.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match and (entry / _ARCHIVE).exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """The newest published version number of ``name``."""
+        versions = self.versions(name)
+        if not versions:
+            raise CheckpointError(f"registry has no published model {name!r}")
+        return versions[-1]
+
+    def metadata(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """The metadata recorded when ``name``/``version`` was published.
+
+        Reads only the ``meta::`` entries of the archive — parameters are
+        not materialised, so this is cheap even for large models.
+        """
+        archive = self._resolve(name, version).archive
+        metadata: Dict[str, Any] = {}
+        with np.load(archive, allow_pickle=False) as handle:
+            for key in handle.files:
+                if key.startswith("meta::"):
+                    metadata[key[len("meta::"):]] = _plain(handle[key])
+        return metadata
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def load(
+        self, name: str, model: Module, version: Optional[int] = None
+    ) -> ModelVersion:
+        """Copy a published version's parameters into ``model`` (bit-exact).
+
+        ``version`` defaults to the latest.  The model must expose exactly
+        the published parameter names and shapes (it is the caller's job to
+        rebuild the right architecture — e.g. from the trial's recorded
+        hyperparameters).
+        """
+        resolved = self._resolve(name, version)
+        metadata = load_checkpoint(model, resolved.archive)
+        return ModelVersion(
+            name=resolved.name,
+            version=resolved.version,
+            path=resolved.path,
+            metadata={key: _plain(value) for key, value in metadata.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    def _resolve(self, name: str, version: Optional[int]) -> ModelVersion:
+        with self._lock:
+            if version is None:
+                version = self.latest_version(name)
+            directory = self.root / name / _VERSION_DIR.format(version=version)
+            if not (directory / _ARCHIVE).exists():
+                raise CheckpointError(
+                    f"registry has no model {name!r} version {version}; "
+                    f"published versions: {self.versions(name) or 'none'}"
+                )
+            return ModelVersion(name=name, version=int(version), path=directory)
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name or ""):
+            raise ConfigurationError(
+                f"invalid model name {name!r}; use letters, digits, '.', '_', '-'"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(root={str(self.root)!r}, models={self.names()})"

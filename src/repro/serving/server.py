@@ -1,0 +1,251 @@
+"""The online inference server: replicas pulling micro-batches from one queue.
+
+A :class:`ModelServer` composes the serving pieces:
+
+* one :class:`~repro.serving.batcher.DynamicBatcher` — bounded-queue
+  admission control (full queue → immediate
+  :class:`~repro.exceptions.ServerOverloadedError`), per-request deadlines,
+  and micro-batch coalescing under ``max_batch_size`` / ``max_wait_ms``;
+* a pool of :class:`~repro.serving.replica.Replica` workers, each running a
+  serve loop on a :class:`~repro.api.runtime.pool.WorkerPool` thread —
+  the same execution substrate the concurrent trial runtime uses;
+* one :class:`~repro.serving.stats.LatencyStats` collector — p50/p95/p99
+  end-to-end latency, throughput, and the admission/timeout/failure
+  counters.
+
+Every replica executes at the server's fixed compute geometry
+(``compute_batch_size`` rows, default ``max_batch_size``), which is what
+makes responses independent of how requests happened to be coalesced —
+see :mod:`repro.serving.replica` for why.  Two servers over the same
+weights and the same geometry answer bit-identically whether they batch
+aggressively or not at all, and whether their replicas are resident or
+spilled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serving.batcher import DynamicBatcher, InferenceRequest, PendingResponse
+from repro.serving.replica import Replica, concat_rows, request_rows, slice_rows
+from repro.serving.stats import LatencyStats
+
+#: request payload: a field->array dict, or a bare array for the default field
+RequestArrays = Union[Dict[str, np.ndarray], np.ndarray]
+
+
+class ModelServer:
+    """Serves a replica pool behind a dynamically batched request queue.
+
+    Example::
+
+        server = ModelServer([Replica.resident(model)], max_batch_size=8)
+        with server:                      # start() / stop()
+            logits = server.request({"features": x})
+            report = server.metrics()
+
+    ``timeout_ms`` is the default per-request deadline (``None`` = no
+    deadline); :meth:`submit` can override it per request.  ``max_queue``
+    bounds the admission queue.  ``compute_batch_size`` fixes the execution
+    geometry and must be at least ``max_batch_size``.
+
+    Raises:
+        ConfigurationError: for an empty replica list or inconsistent
+            batch-size settings.
+        ServingError: from :meth:`submit`/:meth:`request` when the server is
+            not running.
+        ServerOverloadedError: from :meth:`submit`/:meth:`request` when the
+            queue is full.
+        RequestTimeoutError: from ``result()`` when a request misses its
+            deadline.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 64,
+        timeout_ms: Optional[float] = None,
+        compute_batch_size: Optional[int] = None,
+        feature_field: str = "features",
+        name: str = "server",
+    ):
+        if not replicas:
+            raise ConfigurationError("a ModelServer needs at least one replica")
+        compute = compute_batch_size if compute_batch_size is not None else max_batch_size
+        if compute < max_batch_size:
+            raise ConfigurationError(
+                f"compute_batch_size ({compute}) must be >= max_batch_size "
+                f"({max_batch_size}); a coalesced batch must fit the geometry"
+            )
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ConfigurationError(f"timeout_ms must be positive, got {timeout_ms}")
+        self.replicas = list(replicas)
+        self.max_batch_size = int(max_batch_size)
+        self.compute_batch_size = int(compute)
+        self.timeout_ms = timeout_ms
+        self.feature_field = feature_field
+        self.name = name
+        self.stats = LatencyStats()
+        self._batcher = DynamicBatcher(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            stats=self.stats,
+        )
+        self._pool = None
+        self._loops: List[Any] = []
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ModelServer":
+        """Start one serve loop per replica on a thread worker pool."""
+        if self._running:
+            return self
+        if self._stopped:
+            # stop() released the replicas (spill managers, prefetch
+            # threads); a stopped server cannot come back — build a new one.
+            raise ServingError(f"server {self.name!r} was stopped; build a new server")
+        # Imported lazily: repro.api initialisation imports the serve()
+        # facade, which imports this package — a module-level import here
+        # would close that cycle (same pattern as repro.memory.prefetch).
+        from repro.api.runtime.pool import ThreadWorkerPool
+
+        self.stats = LatencyStats()
+        self._batcher.stats = self.stats
+        self._pool = ThreadWorkerPool(len(self.replicas))
+        self._running = True
+        self._loops = [
+            self._pool.submit(self._serve_loop, replica) for replica in self.replicas
+        ]
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the server; with ``drain`` (default) queued requests finish first."""
+        if not self._running:
+            return
+        self._batcher.close()
+        if not drain:
+            self._batcher.cancel_pending()
+        try:
+            for future in self._loops:
+                future.result()
+        finally:
+            # Even if a serve loop died on an unexpected error, the pool and
+            # the replicas' spill state must still be released.
+            self._running = False
+            self._stopped = True
+            self._loops = []
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+            for replica in self.replicas:
+                replica.close()
+
+    def __enter__(self) -> "ModelServer":
+        """Start the server on scope entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Stop the server (draining queued requests) on scope exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, arrays: RequestArrays, timeout_ms: Optional[float] = None
+    ) -> PendingResponse:
+        """Enqueue one request and return its response handle.
+
+        ``arrays`` is a field→array dict with a shared leading (row)
+        dimension, or a bare array for the server's ``feature_field``.
+        ``timeout_ms`` overrides the server default deadline.  Raises
+        immediately on a full queue (admission control) rather than
+        blocking the client.
+        """
+        if not self._running:
+            raise ServingError(f"server {self.name!r} is not running; call start()")
+        if isinstance(arrays, np.ndarray):
+            arrays = {self.feature_field: arrays}
+        arrays = {name: np.asarray(values) for name, values in arrays.items()}
+        now = time.monotonic()
+        limit = timeout_ms if timeout_ms is not None else self.timeout_ms
+        request = InferenceRequest(
+            arrays=arrays,
+            rows=request_rows(arrays),
+            submitted=now,
+            deadline=None if limit is None else now + float(limit) / 1e3,
+        )
+        self._batcher.submit(request)
+        return request.response
+
+    def request(
+        self, arrays: RequestArrays, timeout_ms: Optional[float] = None
+    ) -> Any:
+        """Synchronous convenience: :meth:`submit` then wait for the rows."""
+        limit = timeout_ms if timeout_ms is not None else self.timeout_ms
+        # The result wait gets slack past the server-side deadline so the
+        # batcher's own expiry (the authoritative one) fires first.
+        wait = None if limit is None else float(limit) / 1e3 + 1.0
+        return self.submit(arrays, timeout_ms=timeout_ms).result(timeout=wait)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def metrics(self, window_seconds: Optional[float] = None) -> Dict[str, float]:
+        """Latency percentiles, throughput, and counters as a plain dict."""
+        return self.stats.snapshot(window_seconds=window_seconds)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a replica."""
+        return self._batcher.pending
+
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self, replica: Replica) -> None:
+        """One replica's life: pull a micro-batch, infer, complete responses."""
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            try:
+                # The concat belongs inside the try: requests with
+                # mismatched field sets must fail *their batch*, not kill
+                # the replica loop and hang every later client.
+                arrays = concat_rows([request.arrays for request in batch])
+                output = replica.infer(arrays, pad_to=self.compute_batch_size)
+            except BaseException as error:  # noqa: BLE001 - mirrored to clients
+                for request in batch:
+                    request.response.set_exception(
+                        ServingError(
+                            f"replica {replica.name!r} failed on a micro-batch: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    )
+                self.stats.count(failed=len(batch))
+                continue
+            finished = time.monotonic()
+            offset = 0
+            for request in batch:
+                rows = slice_rows(output, offset, offset + request.rows)
+                offset += request.rows
+                request.response.set_result(rows)
+                self.stats.record(finished - request.submitted)
+            self.stats.record_batch(offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = sum(1 for replica in self.replicas if replica.is_spilled)
+        return (
+            f"ModelServer({self.name!r}, replicas={len(self.replicas)} "
+            f"({kinds} spilled), max_batch={self.max_batch_size}, "
+            f"geometry={self.compute_batch_size})"
+        )

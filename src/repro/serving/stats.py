@@ -1,0 +1,123 @@
+"""Latency and throughput accounting for the serving subsystem.
+
+One :class:`LatencyStats` instance accumulates per-request latencies (and
+the counters around them) behind a lock, so replica threads, the admission
+path, and metric readers never race.  Percentiles are computed on demand
+from the raw samples — serving runs here are thousands of requests, not
+millions, so keeping every sample is cheaper than maintaining a sketch and
+keeps p99 exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: the latency percentiles every report carries, in order
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_summary(latencies_seconds: List[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean of a latency sample, in milliseconds.
+
+    Empty samples yield zeros (a server that has answered nothing has no
+    latency distribution to report, and callers prefer a well-formed dict
+    over an exception in that window).
+    """
+    if not latencies_seconds:
+        return {
+            "latency_p50_ms": 0.0,
+            "latency_p95_ms": 0.0,
+            "latency_p99_ms": 0.0,
+            "latency_mean_ms": 0.0,
+        }
+    values = np.asarray(latencies_seconds, dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(values, PERCENTILES)
+    return {
+        "latency_p50_ms": float(p50),
+        "latency_p95_ms": float(p95),
+        "latency_p99_ms": float(p99),
+        "latency_mean_ms": float(values.mean()),
+    }
+
+
+class LatencyStats:
+    """Thread-safe accumulator of request outcomes and latencies.
+
+    ``record`` takes one completed request's end-to-end latency (queue wait
+    plus inference) in seconds; the failure counters classify everything
+    that never produced a response.  ``snapshot`` freezes the counters and
+    percentiles into a plain dict for reports and benchmarks.
+
+    Example::
+
+        stats = LatencyStats()
+        stats.record(0.004)
+        assert stats.snapshot()["completed"] == 1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self.rejected = 0
+        self.timed_out = 0
+        self.failed = 0
+        self.batches = 0
+        self.batch_rows = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    def record(self, latency_seconds: float) -> None:
+        """Record one completed request's end-to-end latency."""
+        with self._lock:
+            self._latencies.append(float(latency_seconds))
+
+    def count(self, *, rejected: int = 0, timed_out: int = 0, failed: int = 0) -> None:
+        """Bump the failure counters (requests that produced no response)."""
+        with self._lock:
+            self.rejected += rejected
+            self.timed_out += timed_out
+            self.failed += failed
+
+    def record_batch(self, rows: int) -> None:
+        """Record one executed micro-batch of ``rows`` coalesced rows."""
+        with self._lock:
+            self.batches += 1
+            self.batch_rows += int(rows)
+
+    @property
+    def completed(self) -> int:
+        """Number of requests that received a response."""
+        with self._lock:
+            return len(self._latencies)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self, window_seconds: Optional[float] = None) -> Dict[str, float]:
+        """Counters, percentiles, and throughput as one plain dict.
+
+        ``throughput_rps`` divides completed requests by ``window_seconds``
+        when given, otherwise by the time since this collector was created.
+        """
+        with self._lock:
+            latencies = list(self._latencies)
+            elapsed = (
+                float(window_seconds)
+                if window_seconds is not None
+                else max(time.monotonic() - self._started, 1e-9)
+            )
+            report: Dict[str, float] = {
+                "completed": float(len(latencies)),
+                "rejected": float(self.rejected),
+                "timed_out": float(self.timed_out),
+                "failed": float(self.failed),
+                "batches": float(self.batches),
+                "mean_batch_rows": (
+                    self.batch_rows / self.batches if self.batches else 0.0
+                ),
+                "throughput_rps": len(latencies) / elapsed,
+            }
+        report.update(latency_summary(latencies))
+        return report

@@ -1,6 +1,6 @@
 """Training engines that really execute models on the numpy engine."""
 
-from repro.training.metrics import MetricTracker, accuracy_from_logits
+from repro.training.metrics import MetricTracker, accuracy_from_logits, evaluate_model
 from repro.training.trainer import Trainer, TrainingReport
 from repro.training.sharded_trainer import ShardedModelExecutor, ShardParallelTrainer
 from repro.training.checkpoint import (
@@ -13,6 +13,7 @@ from repro.training.checkpoint import (
 __all__ = [
     "MetricTracker",
     "accuracy_from_logits",
+    "evaluate_model",
     "Trainer",
     "TrainingReport",
     "ShardedModelExecutor",

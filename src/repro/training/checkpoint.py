@@ -2,11 +2,13 @@
 
 Archives are flat key/value stores of numpy arrays with a namespace prefix
 per section: ``param::<name>`` for model parameters, ``opt::<...>`` for
-optimizer state (step count and per-parameter moment arrays), and
-``meta::<key>`` for caller metadata.  The same serialization (via
-:func:`save_array_bundle` / :func:`load_array_bundle`) backs the host shard
-cache's disk tier in :mod:`repro.memory`, so a shard spilled to disk and a
-checkpoint on disk are the same format.
+optimizer state (step count and per-parameter moment arrays),
+``sched::<key>`` for learning-rate-scheduler state, and ``meta::<key>`` for
+caller metadata.  The same serialization (via :func:`save_array_bundle` /
+:func:`load_array_bundle`) backs the host shard cache's disk tier in
+:mod:`repro.memory` and the serving :class:`~repro.serving.ModelRegistry`,
+so a spilled shard, a published model version, and a checkpoint are all
+one format.
 """
 
 from __future__ import annotations
@@ -18,11 +20,13 @@ import numpy as np
 
 from repro.exceptions import CheckpointError
 from repro.nn.module import Module
+from repro.optim.lr_scheduler import LRScheduler
 from repro.optim.optimizer import Optimizer
 
 #: archive key prefixes (one namespace per section)
 PARAM_PREFIX = "param::"
 OPT_PREFIX = "opt::"
+SCHED_PREFIX = "sched::"
 META_PREFIX = "meta::"
 
 
@@ -77,6 +81,7 @@ def save_checkpoint(
     metadata: Dict[str, object] | None = None,
     compressed: bool = False,
     optimizer: Optional[Optimizer] = None,
+    scheduler: Optional[LRScheduler] = None,
 ) -> Path:
     """Write the model's parameters (and optional metadata) to ``path``.
 
@@ -91,6 +96,12 @@ def save_checkpoint(
     so spill/restore and mid-trial resume round-trip the *complete*
     training state: training resumed from such a checkpoint is bit-identical
     to training that never stopped.
+
+    With ``scheduler=...`` the learning-rate schedule's dynamic state
+    (:meth:`~repro.optim.lr_scheduler.LRScheduler.state_dict`) is captured
+    under ``sched::`` keys too, so warmup/decay schedules survive a
+    mid-trial resume bit-identically — without it, a resumed run would
+    restart the schedule at step 0 and silently diverge.
     """
     path = Path(path)
     state = model.state_dict()
@@ -105,6 +116,9 @@ def save_checkpoint(
             per_param = optimizer.state.get(id(param), {})
             for key in sorted(per_param):
                 payload[f"{OPT_PREFIX}{names[id(param)]}::{key}"] = per_param[key]
+    if scheduler is not None:
+        for key, value in scheduler.state_dict().items():
+            payload[f"{SCHED_PREFIX}{key}"] = np.asarray(value)
     if metadata:
         for key, value in metadata.items():
             payload[f"{META_PREFIX}{key}"] = np.asarray(value)
@@ -115,6 +129,7 @@ def load_checkpoint(
     model: Module,
     path: str | Path,
     optimizer: Optional[Optimizer] = None,
+    scheduler: Optional[LRScheduler] = None,
 ) -> Dict[str, np.ndarray]:
     """Restore parameters saved by :func:`save_checkpoint`; returns metadata.
 
@@ -123,16 +138,25 @@ def load_checkpoint(
     been written with an optimizer (:class:`~repro.exceptions.CheckpointError`
     otherwise).  State arrays are matched to parameters by qualified name,
     so the optimizer must hold the model's parameters.
+
+    With ``scheduler=...`` the learning-rate schedule's ``sched::`` state is
+    restored the same way — the archive must have been written with a
+    scheduler, and the caller must pass a freshly built schedule of the
+    same shape (warmup/total steps are constructor arguments, like model
+    architecture).
     """
     archive = load_array_bundle(path)
     state = {}
     metadata = {}
     opt_entries: Dict[str, np.ndarray] = {}
+    sched_entries: Dict[str, np.ndarray] = {}
     for key, values in archive.items():
         if key.startswith(PARAM_PREFIX):
             state[key[len(PARAM_PREFIX):]] = values
         elif key.startswith(META_PREFIX):
             metadata[key[len(META_PREFIX):]] = values
+        elif key.startswith(SCHED_PREFIX):
+            sched_entries[key[len(SCHED_PREFIX):]] = values
         elif key.startswith(OPT_PREFIX):
             opt_entries[key[len(OPT_PREFIX):]] = values
     if not state:
@@ -148,9 +172,18 @@ def load_checkpoint(
                 "save_checkpoint(..., optimizer=optimizer)"
             )
         apply_optimizer = _resolve_optimizer_state(model, optimizer, opt_entries)
+    if scheduler is not None and not sched_entries:
+        raise CheckpointError(
+            f"checkpoint {path} contains no scheduler state; save it with "
+            "save_checkpoint(..., scheduler=scheduler)"
+        )
     model.load_state_dict(state)
     if apply_optimizer is not None:
         apply_optimizer()
+    if scheduler is not None:
+        scheduler.load_state_dict(
+            {key: value.item() for key, value in sched_entries.items()}
+        )
     return metadata
 
 

@@ -1,4 +1,4 @@
-"""Training metrics."""
+"""Training metrics and the shared (graph-free) evaluation loop."""
 
 from __future__ import annotations
 
@@ -6,6 +6,41 @@ from collections import defaultdict
 from typing import Dict, List
 
 import numpy as np
+
+from repro.autograd.tensor import no_grad
+
+
+def evaluate_model(model, loader, label_field: str = "label") -> Dict[str, float]:
+    """Mean loss (and accuracy when labels are categorical) over a loader.
+
+    Runs under :func:`~repro.autograd.tensor.no_grad` — evaluation reads the
+    model, it never trains it, so recording an autograd graph would only
+    burn one batch's worth of activation memory per step.  The values are
+    bit-identical to a graph-building evaluation (only the recording is
+    skipped), which ``tests/test_training.py`` asserts.  The model is put in
+    eval mode for the duration (stochastic layers must not fire) and
+    restored to its previous mode afterwards.
+    """
+    losses = []
+    accuracies = []
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for batch in loader:
+                outputs = model.forward(batch)
+                losses.append(model.compute_loss(outputs, batch).item())
+                if label_field in batch:
+                    predictions = model.predict(outputs)
+                    labels = np.asarray(batch[label_field])
+                    if predictions.shape == labels.shape:
+                        accuracies.append(float((predictions == labels).mean()))
+    finally:
+        model.train(was_training)
+    metrics = {"loss": float(np.mean(losses))}
+    if accuracies:
+        metrics["accuracy"] = float(np.mean(accuracies))
+    return metrics
 
 
 def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:

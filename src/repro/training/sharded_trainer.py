@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CH
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.data.dataloader import Batch, DataLoader
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.models.base import ShardableModel
@@ -115,7 +115,7 @@ class ShardedModelExecutor:
     def bind_memory(
         self,
         manager: "SpillManager",
-        optimizer: Optimizer,
+        optimizer: Optional[Optimizer] = None,
         model_id: Optional[str] = None,
         device_of: Optional[Callable[[int], str]] = None,
     ) -> None:
@@ -129,6 +129,12 @@ class ShardedModelExecutor:
         while the current one computes, and the optimizer update runs *per
         shard* inside its backward lease, so no more than one of this
         model's shards needs to be resident per device at a time.
+
+        ``optimizer=None`` binds the executor for *inference only* (the
+        serving subsystem's spilled replicas): shards carry just their
+        parameter bytes, :meth:`forward_only` leases them as usual, and a
+        backward pass raises instead of silently training without per-shard
+        updates.
         """
         model_id = model_id if model_id is not None else self.model.model_name
         names = manager.arena_names
@@ -138,7 +144,9 @@ class ShardedModelExecutor:
         # the actual state arrays are ``zeros_like(param)``, so what matters
         # is how many param-shaped arrays the optimizer keeps — charging
         # ``count × param.nbytes`` stays honest for float64 parameters too.
-        state_arrays = (optimizer.state_bytes_per_parameter + 3) // 4
+        state_arrays = (
+            0 if optimizer is None else (optimizer.state_bytes_per_parameter + 3) // 4
+        )
         for shard_index in range(self.num_shards):
             params = self.shard_parameters(shard_index)
             nbytes = sum(p.data.nbytes for p in params) * (1 + state_arrays)
@@ -153,14 +161,14 @@ class ShardedModelExecutor:
         self._memory_model_id = model_id
 
     @staticmethod
-    def _shard_arrays_fn(params: List, optimizer: Optimizer):
+    def _shard_arrays_fn(params: List, optimizer: Optional[Optimizer]):
         """Stable-order view of a shard's live arrays (params, then state)."""
 
         def arrays() -> List[np.ndarray]:
             collected: List[np.ndarray] = []
             for param in params:
                 collected.append(param.data)
-                state = optimizer.state.get(id(param))
+                state = optimizer.state.get(id(param)) if optimizer is not None else None
                 if state:
                     collected.extend(state[key] for key in sorted(state))
             return collected
@@ -170,7 +178,7 @@ class ShardedModelExecutor:
     @property
     def updates_inline(self) -> bool:
         """Whether optimizer updates happen per shard inside ``run_backward``."""
-        return self._memory is not None
+        return self._memory is not None and self._memory_optimizer is not None
 
     def _shard_key(self, shard_index: int) -> Tuple[str, int]:
         return (self._memory_model_id, shard_index)
@@ -260,6 +268,12 @@ class ShardedModelExecutor:
         if self._memory is None:
             self._backward_body(shard_index)
             return
+        if self._memory_optimizer is None:
+            raise SchedulingError(
+                "this executor was bound for inference only (bind_memory "
+                "without an optimizer); spilled backward passes need the "
+                "optimizer registered so per-shard updates can run inline"
+            )
         with self._memory.lease(self._shard_key(shard_index)):
             if shard_index > 0:
                 self._memory.prefetch(self._shard_key(shard_index - 1))
@@ -314,6 +328,11 @@ class ShardedModelExecutor:
         backward lease (bit-identical arithmetic; see :meth:`bind_memory`),
         so no whole-model ``optimizer.step`` runs here.
         """
+        if self._memory is not None and self._memory_optimizer is None:
+            raise ConfigurationError(
+                "this executor was bound for inference only (bind_memory "
+                "without an optimizer); it cannot run training steps"
+            )
         if self._memory is not None and optimizer is not self._memory_optimizer:
             raise ConfigurationError(
                 "train_step received a different optimizer than bind_memory; "
@@ -333,11 +352,23 @@ class ShardedModelExecutor:
         return loss_value
 
     def forward_only(self, batch: Batch) -> Any:
-        """Sharded inference (no gradients kept beyond the shard boundaries)."""
+        """Sharded inference under ``no_grad`` (no autograd graph is built).
+
+        Output values are bit-identical to the graph-building forward — only
+        the recording is skipped — and with a bound spill manager only the
+        forward chain is announced, so schedule-aware eviction never plans
+        for a backward pass that will not happen.
+        """
         self.begin_batch()
-        output = None
-        for shard_index in range(self.num_shards):
-            output = self.run_forward(shard_index, batch)
+        if self._memory is not None:
+            self._memory.announce(
+                self._memory_model_id,
+                [self._shard_key(i) for i in range(self.num_shards)],
+            )
+        with no_grad():
+            output = None
+            for shard_index in range(self.num_shards):
+                output = self.run_forward(shard_index, batch)
         self.end_batch()
         return output
 

@@ -5,13 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.data.dataloader import DataLoader
 from repro.models.base import ShardableModel
 from repro.optim.lr_scheduler import LRScheduler
 from repro.optim.optimizer import Optimizer
-from repro.training.metrics import MetricTracker
+from repro.training.metrics import MetricTracker, evaluate_model
 from repro.utils.logging import get_logger
 
 logger = get_logger("training")
@@ -66,28 +64,15 @@ class Trainer:
         return loss.item()
 
     def evaluate(self, loader: Optional[DataLoader] = None) -> Dict[str, float]:
-        """Mean loss (and accuracy when labels are categorical) over a loader."""
+        """Mean loss (and accuracy when labels are categorical) over a loader.
+
+        Delegates to :func:`~repro.training.metrics.evaluate_model`, which
+        runs under ``no_grad`` — same values, no autograd graph.
+        """
         loader = loader if loader is not None else self.eval_loader
         if loader is None:
             raise ValueError("no evaluation loader provided")
-        losses = []
-        accuracies = []
-        self.model.eval()
-        try:
-            for batch in loader:
-                outputs = self.model.forward(batch)
-                losses.append(self.model.compute_loss(outputs, batch).item())
-                if self.label_field in batch:
-                    predictions = self.model.predict(outputs)
-                    labels = np.asarray(batch[self.label_field])
-                    if predictions.shape == labels.shape:
-                        accuracies.append(float((predictions == labels).mean()))
-        finally:
-            self.model.train()
-        metrics = {"loss": float(np.mean(losses))}
-        if accuracies:
-            metrics["accuracy"] = float(np.mean(accuracies))
-        return metrics
+        return evaluate_model(self.model, loader, label_field=self.label_field)
 
     def fit(self, num_epochs: int = 1) -> TrainingReport:
         """Train for ``num_epochs`` epochs and return the per-epoch history."""

@@ -171,3 +171,25 @@ class TestSchedulers:
         scheduler = StepDecay(optimizer, step_size=1, gamma=0.5)
         scheduler.step()
         assert optimizer.lr == pytest.approx(0.5)
+
+    def test_state_dict_roundtrip_resumes_exactly(self):
+        reference = LinearWarmupDecay(self._optimizer(1.0), warmup_steps=3, total_steps=10)
+        interrupted = LinearWarmupDecay(self._optimizer(1.0), warmup_steps=3, total_steps=10)
+        for _ in range(4):
+            reference.step()
+            interrupted.step()
+        state = interrupted.state_dict()
+        assert state == {"step_count": 4, "base_lr": 1.0}
+
+        # A fresh schedule over a fresh optimizer whose lr is already
+        # mid-schedule: base_lr must come from the snapshot, not the ctor.
+        resumed = LinearWarmupDecay(self._optimizer(0.123), warmup_steps=3, total_steps=10)
+        resumed.load_state_dict(state)
+        remaining_reference = [reference.step() for _ in range(6)]
+        remaining_resumed = [resumed.step() for _ in range(6)]
+        assert remaining_resumed == remaining_reference  # bit-identical floats
+
+    def test_load_state_dict_rejects_partial_state(self):
+        scheduler = ConstantLR(self._optimizer(1.0))
+        with pytest.raises(KeyError):
+            scheduler.load_state_dict({"step_count": 2})

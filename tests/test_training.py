@@ -298,3 +298,115 @@ class TestCheckpointing:
         path = tmp_path / "checkpoint"
         save_checkpoint(tiny_mlp, path)
         load_checkpoint(FeedForwardNetwork(tiny_mlp.config, seed=1), path)
+
+
+class TestSchedulerCheckpointing:
+    """Mid-trial resume with a warmup/decay schedule must be bit-identical."""
+
+    def _trainer(self, seed=0):
+        from repro.optim import LinearWarmupDecay
+
+        data = make_classification(num_samples=64, num_features=16, num_classes=4,
+                                   rng=np.random.default_rng(3))
+        model = FeedForwardNetwork(FeedForwardConfig.tiny(), seed=seed)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        scheduler = LinearWarmupDecay(optimizer, warmup_steps=3, total_steps=12)
+        loader = DataLoader(data, batch_size=16, shuffle=True, seed=seed)
+        return Trainer(model, optimizer, loader, scheduler=scheduler)
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        straight = self._trainer()
+        straight.fit(num_epochs=2)
+
+        resumed = self._trainer()
+        resumed.fit(num_epochs=1)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(resumed.model, path, optimizer=resumed.optimizer,
+                        scheduler=resumed.scheduler)
+
+        fresh = self._trainer()
+        load_checkpoint(fresh.model, path, optimizer=fresh.optimizer,
+                        scheduler=fresh.scheduler)
+        assert fresh.scheduler.step_count == resumed.scheduler.step_count
+        # Resume epoch numbering where the interrupted run stopped, so the
+        # shuffle order matches the uninterrupted baseline.
+        fresh.loader.set_epoch(1)
+        for batch in fresh.loader:
+            fresh.train_step(batch)
+
+        for (name, expected), (_, actual) in zip(
+            straight.model.named_parameters(), fresh.model.named_parameters()
+        ):
+            assert np.array_equal(expected.data, actual.data), name
+        assert straight.optimizer.lr == fresh.optimizer.lr
+        assert straight.scheduler.step_count == fresh.scheduler.step_count
+
+    def test_scheduler_restore_requires_sched_section(self, tmp_path):
+        trainer = self._trainer()
+        path = tmp_path / "no_sched.npz"
+        save_checkpoint(trainer.model, path, optimizer=trainer.optimizer)
+        other = self._trainer()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(other.model, path, optimizer=other.optimizer,
+                            scheduler=other.scheduler)
+
+
+class TestNoGradEvaluation:
+    """Eval paths must skip the autograd graph without changing any value."""
+
+    def _setup(self):
+        data = make_classification(num_samples=48, num_features=16, num_classes=4,
+                                   rng=np.random.default_rng(5))
+        model = FeedForwardNetwork(FeedForwardConfig.tiny(), seed=2)
+        return model, DataLoader(data, batch_size=16)
+
+    def test_evaluate_matches_graph_building_loop(self):
+        from repro.training import evaluate_model
+
+        model, loader = self._setup()
+        # The pre-no_grad behaviour, reproduced by hand: full graphs built.
+        losses, accuracies = [], []
+        model.eval()
+        for batch in loader:
+            outputs = model.forward(batch)
+            losses.append(model.compute_loss(outputs, batch).item())
+            accuracies.append(float((model.predict(outputs) == batch["label"]).mean()))
+        model.train()
+        expected = {"loss": float(np.mean(losses)), "accuracy": float(np.mean(accuracies))}
+
+        metrics = evaluate_model(model, loader)
+        assert metrics == expected  # bit-identical, not merely close
+
+    def test_evaluate_builds_no_graph(self):
+        from repro.autograd import is_grad_enabled
+
+        model, loader = self._setup()
+        seen = []
+        original = model.compute_loss
+        model.compute_loss = lambda outputs, batch: (
+            seen.append((is_grad_enabled(), outputs._ctx)),
+            original(outputs, batch),
+        )[1]
+        Trainer(model, Adam(model.parameters(), lr=1e-3), loader).evaluate(loader)
+        assert seen and all(enabled is False for enabled, _ in seen)
+        assert all(ctx is None for _, ctx in seen)
+
+    def test_forward_only_builds_no_graph_and_matches(self, tiny_mlp, classification_batch):
+        executor = ShardedModelExecutor(tiny_mlp, [(0, 1), (1, 3)])
+        sharded = executor.forward_only(classification_batch)
+        whole = tiny_mlp.forward(classification_batch)
+        assert np.array_equal(sharded.data, whole.data)
+        assert sharded._ctx is None and sharded.requires_grad is False
+
+    def test_accuracy_on_batch_builds_no_graph(self, tiny_mlp, classification_batch):
+        seen = []
+        original = tiny_mlp.predict
+        # The outputs handed to predict must carry no autograd context: the
+        # forward ran under no_grad.
+        tiny_mlp.predict = lambda outputs: (
+            seen.append(outputs._ctx),
+            original(outputs),
+        )[1]
+        accuracy = tiny_mlp.accuracy_on_batch(classification_batch)
+        assert 0.0 <= accuracy <= 1.0
+        assert seen == [None]
