@@ -62,6 +62,7 @@ _API_EXPORTS = (
     "make_pool",
     "make_searcher",
     "serve",
+    "serve_fleet",
 )
 
 

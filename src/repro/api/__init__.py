@@ -22,9 +22,12 @@ concurrent, fault-tolerant trial execution to any backend:
 
 Selection's output feeds straight into online inference: :func:`serve`
 deploys a model behind a dynamically batched replica pool
-(:mod:`repro.serving`), and ``SelectionResult.deploy`` rebuilds an
-experiment's winner — weights from a :class:`~repro.serving.ModelRegistry`
-— and serves it (see ``docs/serving.md``).
+(:mod:`repro.serving`), :func:`serve_fleet` deploys *every* published model
+of a registry through one shared :class:`~repro.serving.FleetRouter`
+(one replica pool, one memory budget — see ``docs/router.md``), and
+``SelectionResult.deploy`` rebuilds an experiment's winner — weights from a
+:class:`~repro.serving.ModelRegistry` — and serves it, standalone or into a
+fleet (see ``docs/serving.md``).
 """
 
 from repro.api.backend import CohortEngineBackend, ExecutionBackend, TrialHandle
@@ -54,7 +57,7 @@ from repro.api.callbacks import (
     TrialTimer,
 )
 from repro.api.experiment import Budget, Experiment, TrialRunner
-from repro.api.serving import serve
+from repro.api.serving import serve, serve_fleet
 from repro.api.searchers import (
     FixedSearcher,
     GridSearcher,
@@ -97,4 +100,5 @@ __all__ = [
     "make_pool",
     "make_searcher",
     "serve",
+    "serve_fleet",
 ]

@@ -1,21 +1,27 @@
-"""``repro.api.serve`` — the declarative front door to online inference.
+"""``repro.api.serve`` / ``serve_fleet`` — declarative online inference.
 
 One call turns a (trained) model into a running
 :class:`~repro.serving.ModelServer`: replica construction, sharding and
 spill-manager plumbing for over-memory models, and batching configuration
 all happen here, mirroring how ``Experiment.run(memory_budget=...)`` hides
-the training-side spill wiring.  ``SelectionResult.deploy`` composes this
-with the :class:`~repro.serving.ModelRegistry` to go from an experiment's
-winner to a server in one step (see ``docs/serving.md``).
+the training-side spill wiring.  :func:`serve_fleet` does the same for a
+*registry*: every published model behind one
+:class:`~repro.serving.FleetRouter` sharing one replica pool and one memory
+budget.  ``SelectionResult.deploy`` composes these with the
+:class:`~repro.serving.ModelRegistry` to go from an experiment's winner to
+a server — or into a shared fleet — in one step (see ``docs/serving.md``
+and ``docs/router.md``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
 from repro.models.base import ShardableModel
+from repro.serving.registry import ModelRegistry
 from repro.serving.replica import Replica
+from repro.serving.router import FleetRouter
 from repro.serving.server import ModelServer
 
 #: what ``serve`` accepts: a live model, or a zero-argument factory that
@@ -117,3 +123,89 @@ def serve(
         name=name,
     )
     return server.start() if start else server
+
+
+def serve_fleet(
+    registry: ModelRegistry,
+    builder: Callable[[str], ShardableModel],
+    models: Optional[Sequence[str]] = None,
+    weights: Optional[Dict[str, float]] = None,
+    memory_budget: Optional[int] = None,
+    replicas: int = 2,
+    max_batch_size: int = 8,
+    max_queue: int = 64,
+    timeout_ms: Optional[float] = None,
+    compute_batch_size: Optional[int] = None,
+    eviction_policy: str = "lru",
+    prefetch: bool = True,
+    spill_dir: Optional[str] = None,
+    max_cold_skips: int = 3,
+    name: str = "fleet",
+    start: bool = True,
+) -> FleetRouter:
+    """Serve a registry's published models through one shared fleet router.
+
+    ``builder(model_name)`` constructs a fresh model of the right
+    architecture for each name; the registry then loads that name's latest
+    published weights into it (bit-exact), and the model joins the router.
+    ``models`` restricts/orders the fleet (default: every published name);
+    ``weights`` sets per-model fair-share weights (default 1.0 each).
+
+    ``memory_budget`` (bytes) is the **fleet-wide** device budget: the
+    models' combined parameter bytes may exceed it, in which case cold
+    models are evicted whole to the host cache and restored on demand —
+    every model must fit the budget individually.  ``None`` keeps the whole
+    fleet resident.
+
+    The batching knobs are router-wide defaults; per-model overrides go
+    through :meth:`~repro.serving.FleetRouter.add_model` on the returned
+    router (models may be added while it serves).  With ``start=True``
+    (default) the router is already running; use it as a context manager or
+    call ``stop()`` when done.
+
+    Example::
+
+        router = serve_fleet(registry, lambda name: build_model(name),
+                             memory_budget=budget, replicas=2)
+        logits = router.request("mlp-a", {"features": x})
+        router.stop()
+
+    Raises:
+        ConfigurationError: for an empty fleet, a ``weights``/``models``
+            mismatch, or a model larger than ``memory_budget``.
+        CheckpointError: for names without a published version.
+    """
+    chosen = list(models) if models is not None else registry.names()
+    if not chosen:
+        raise ConfigurationError(
+            "serve_fleet needs at least one model; the registry has none "
+            "published and models=... named none"
+        )
+    weights = dict(weights or {})
+    unknown = sorted(set(weights) - set(chosen))
+    if unknown:
+        raise ConfigurationError(
+            f"weights name models not in the fleet: {unknown}; fleet: {sorted(chosen)}"
+        )
+    router = FleetRouter(
+        memory_budget=memory_budget,
+        replicas=replicas,
+        max_batch_size=max_batch_size,
+        max_queue=max_queue,
+        timeout_ms=timeout_ms,
+        eviction_policy=eviction_policy,
+        prefetch=prefetch,
+        spill_dir=spill_dir,
+        max_cold_skips=max_cold_skips,
+        name=name,
+    )
+    for model_name in chosen:
+        model = builder(model_name)
+        registry.load(model_name, model)
+        router.add_model(
+            model_name,
+            model,
+            weight=weights.get(model_name, 1.0),
+            compute_batch_size=compute_batch_size,
+        )
+    return router.start() if start else router

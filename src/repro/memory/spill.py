@@ -323,6 +323,39 @@ class SpillManager:
         with self._cond:
             return self._record(key).state
 
+    def resident_keys(self) -> List[ShardKey]:
+        """Keys whose bytes are currently on a device (resident or landing).
+
+        ``PREFETCHING`` shards count: their arena charge is already taken,
+        so for occupancy purposes they are on-device.  Used by the serving
+        router to report which whole models are hot.
+        """
+        with self._cond:
+            return sorted(
+                record.key
+                for record in self._records.values()
+                if record.state is not ResidencyState.EVICTED
+            )
+
+    def resident_bytes(self) -> int:
+        """Total bytes currently charged to arenas by managed shards."""
+        with self._cond:
+            return sum(
+                record.nbytes
+                for record in self._records.values()
+                if record.state is not ResidencyState.EVICTED
+            )
+
+    def registered_bytes(self) -> int:
+        """Total bytes under management, resident or not.
+
+        When this exceeds the arenas' combined capacity the working set is
+        over-committed — exactly the regime spilling exists for; the ratio
+        is the router's head-line residency metric.
+        """
+        with self._cond:
+            return sum(record.nbytes for record in self._records.values())
+
     # ------------------------------------------------------------------ #
     # Leasing
     # ------------------------------------------------------------------ #

@@ -88,6 +88,7 @@ class SelectionResult:
         registry=None,
         version: Optional[int] = None,
         trial: Optional[TrialResult] = None,
+        router=None,
         **serve_options,
     ):
         """Serve a trial of this experiment (the best one by default).
@@ -103,9 +104,16 @@ class SelectionResult:
         the builder's own parameters serve (useful when the builder loads
         weights itself).
 
-        ``serve_options`` are forwarded to :func:`repro.api.serve`
-        (``replicas``, ``max_batch_size``, ``memory_budget``, ...); the
-        returned :class:`~repro.serving.ModelServer` is already running.
+        Without ``router``, ``serve_options`` are forwarded to
+        :func:`repro.api.serve` (``replicas``, ``max_batch_size``,
+        ``memory_budget``, ...) and the returned
+        :class:`~repro.serving.ModelServer` is already running.  With
+        ``router`` (a :class:`~repro.serving.FleetRouter`), the trial joins
+        the shared fleet instead — registered under its trial id, served
+        from the router's common replica pool and memory budget —
+        and the router itself is returned; ``serve_options`` then become
+        :meth:`~repro.serving.FleetRouter.add_model` options (``weight``,
+        ``max_batch_size``, ``compute_batch_size``, ``max_queue``).
 
         Example::
 
@@ -130,6 +138,9 @@ class SelectionResult:
         model = built[0] if isinstance(built, tuple) else built
         if registry is not None:
             registry.load(chosen.trial_id, model, version=version)
+        if router is not None:
+            router.add_model(chosen.trial_id, model, **serve_options)
+            return router
         return serve(model, **serve_options)
 
     def __len__(self) -> int:

@@ -16,8 +16,12 @@ serving traffic against it (see ``docs/serving.md``):
 * :class:`ModelServer` — a replica pool on the runtime's
   :class:`~repro.api.runtime.pool.WorkerPool`, with per-request deadlines
   and p50/p95/p99 latency + throughput metrics;
-* :class:`LoadGenerator` — closed-loop clients for load tests and the E13
-  benchmark.
+* :class:`LoadGenerator` — closed-loop and open-loop (fixed arrival rate)
+  clients for load tests and the E13/E14 benchmarks;
+* :class:`FleetRouter` — the multi-model tier: every published model served
+  through **one** replica pool and **one** memory budget, with continuous
+  batching, weighted-fair scheduling, and Hydra-style whole-model
+  eviction/restore of cold models (see ``docs/router.md``).
 
 Exactness is the core contract, inherited from the training side: replicas
 run every forward at one fixed compute geometry, so batched responses are
@@ -25,30 +29,36 @@ run every forward at one fixed compute geometry, so batched responses are
 answer bit-identically to resident ones.
 
 The declarative entry points live one layer up:
-:func:`repro.api.serve` builds a server from a model, and
-``SelectionResult.deploy`` goes straight from an experiment's winner
-(rebuilt via the caller's builder, weights from the registry) to a running
-server.
+:func:`repro.api.serve` builds a server from a model,
+:func:`repro.api.serve_fleet` builds a router over a registry's published
+models, and ``SelectionResult.deploy`` goes straight from an experiment's
+winner (rebuilt via the caller's builder, weights from the registry) to a
+running server — or, with ``router=``, into a shared fleet.
 """
 
 from repro.serving.batcher import DynamicBatcher, InferenceRequest, PendingResponse
 from repro.serving.loadgen import LoadGenerator, LoadReport, warm_up
 from repro.serving.registry import ModelRegistry, ModelVersion
 from repro.serving.replica import Replica
+from repro.serving.router import FleetRouter, ModelEntry, RouterHandle
 from repro.serving.server import ModelServer
-from repro.serving.stats import LatencyStats, latency_summary
+from repro.serving.stats import LatencyStats, ServerStats, latency_summary
 
 __all__ = [
     "DynamicBatcher",
+    "FleetRouter",
     "InferenceRequest",
     "LatencyStats",
     "LoadGenerator",
     "LoadReport",
+    "ModelEntry",
     "ModelRegistry",
     "ModelServer",
     "ModelVersion",
     "PendingResponse",
     "Replica",
+    "RouterHandle",
+    "ServerStats",
     "latency_summary",
     "warm_up",
 ]

@@ -8,7 +8,9 @@ replica threads pull *micro-batches*: up to ``max_batch_size`` rows,
 collected for at most ``max_wait_ms`` after the first request of the batch
 arrived.  An idle server therefore answers a lone request after at most
 ``max_wait_ms`` of batching delay, while a loaded server fills whole
-batches instantly.
+batches instantly: a *saturated* batch — one that already holds
+``max_batch_size`` rows, or whose next queued request would not fit —
+dispatches the moment it saturates instead of waiting out the window.
 
 Requests are never split across batches and never reordered: collection
 walks the queue front-to-back and stops at the first request that does not
@@ -49,6 +51,10 @@ class PendingResponse:
         self._event = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        #: ``time.monotonic()`` at completion — what open-loop load
+        #: generation measures latency against (the caller may collect
+        #: results long after they landed)
+        self.completed_at: Optional[float] = None
 
     def done(self) -> bool:
         """Whether a result or error has landed."""
@@ -57,11 +63,13 @@ class PendingResponse:
     def set_result(self, value: Any) -> None:
         """Complete the response with the request's output rows."""
         self._value = value
+        self.completed_at = time.monotonic()
         self._event.set()
 
     def set_exception(self, error: BaseException) -> None:
         """Complete the response with a failure."""
         self._error = error
+        self.completed_at = time.monotonic()
         self._event.set()
 
     def result(self, timeout: Optional[float] = None) -> Any:
@@ -183,12 +191,15 @@ class DynamicBatcher:
                 # from when the batch's *head request arrived* — a request
                 # that already waited for a free replica is not made to wait
                 # the full window again.  Recomputed per iteration: another
-                # replica may take the head while we wait.
+                # replica may take the head while we wait.  A *saturated*
+                # batch — full, or blocked by a next request that does not
+                # fit — cannot grow, so it dispatches immediately instead of
+                # sleeping out the rest of the window.
                 while self._queue:
                     fill_deadline = self._queue[0].submitted + self.max_wait_seconds
-                    rows = self._collectable_rows_locked()
+                    saturated = self._saturated_locked()
                     remaining = fill_deadline - time.monotonic()
-                    if rows >= self.max_batch_size or remaining <= 0 or self._closed:
+                    if saturated or remaining <= 0 or self._closed:
                         return self._take_locked()
                     self._cond.wait(timeout=min(remaining, self._poll_interval_locked()))
                     self._expire_locked()
@@ -244,13 +255,20 @@ class DynamicBatcher:
         nearest = min(deadlines) if deadlines else 0.05
         return max(min(nearest, 0.05), 1e-4)
 
-    def _collectable_rows_locked(self) -> int:
+    def _saturated_locked(self) -> bool:
+        """Whether the collectable batch can no longer grow.
+
+        True when the queued prefix already fills ``max_batch_size`` rows, or
+        when the first uncollectable request would overflow the batch (it is
+        never split, so waiting longer cannot add it).  Either way the wait
+        window buys nothing and the batch should dispatch now.
+        """
         rows = 0
         for request in self._queue:
             if rows + request.rows > self.max_batch_size:
-                break
+                return True
             rows += request.rows
-        return rows
+        return rows >= self.max_batch_size
 
     def _take_locked(self) -> List[InferenceRequest]:
         taken: List[InferenceRequest] = []

@@ -73,6 +73,31 @@ def slice_rows(payload: Any, start: int, stop: int) -> Any:
     )
 
 
+def pad_rows(
+    arrays: Dict[str, np.ndarray], rows: int, pad_to: int
+) -> Dict[str, np.ndarray]:
+    """Pad a ``rows``-row micro-batch to exactly ``pad_to`` rows.
+
+    Padding repeats the first row — its content cannot influence the real
+    rows' results (GEMM computes each output row from its input row alone),
+    and repeating an existing row keeps dtypes and value ranges valid for
+    any downstream layer.  Raises when the batch is already larger than the
+    geometry.
+    """
+    if rows > pad_to:
+        raise ConfigurationError(
+            f"micro-batch has {rows} rows but the compute geometry is {pad_to}"
+        )
+    if rows == pad_to:
+        return arrays
+    return {
+        name: np.concatenate(
+            [values, np.repeat(values[:1], pad_to - rows, axis=0)], axis=0
+        )
+        for name, values in arrays.items()
+    }
+
+
 def request_rows(arrays: Dict[str, np.ndarray]) -> int:
     """The (consistent) leading-dimension row count of one request."""
     if not arrays:
@@ -201,20 +226,7 @@ class Replica:
         bit-reproducible among equal batch shapes.
         """
         rows = request_rows(arrays)
-        padded = arrays
-        if pad_to is not None:
-            if rows > pad_to:
-                raise ConfigurationError(
-                    f"micro-batch has {rows} rows but the compute geometry is "
-                    f"{pad_to}"
-                )
-            if rows < pad_to:
-                padded = {
-                    name: np.concatenate(
-                        [values, np.repeat(values[:1], pad_to - rows, axis=0)], axis=0
-                    )
-                    for name, values in arrays.items()
-                }
+        padded = arrays if pad_to is None else pad_rows(arrays, rows, pad_to)
         batch = Batch(arrays={name: np.asarray(v) for name, v in padded.items()})
         if self.executor is not None:
             output = self.executor.forward_only(batch)

@@ -1,0 +1,715 @@
+"""Fleet routing: one replica pool and one memory budget for many models.
+
+A :class:`FleetRouter` is the multi-model counterpart of
+:class:`~repro.serving.server.ModelServer` — the paper's framing (many
+models sharing one memory budget) carried to the inference side.  One
+router owns, for *every* published model it serves:
+
+* **one replica pool** — ``replicas`` worker threads on the runtime's
+  :class:`~repro.api.runtime.pool.WorkerPool`, each repeatedly asking the
+  scheduler for ``(model, micro-batch)`` work;
+* **one spill budget** — a single :class:`~repro.memory.SpillManager`
+  arena that all models' parameters are charged against.  Each model is
+  registered *whole* (Hydra-style: models move as units, not layer
+  fragments): hot models stay device-resident, cold models are evicted to
+  the host cache under pressure and restored on demand, so the fleet's
+  total parameter bytes may exceed the budget;
+* **one scheduler** — continuous batching over per-model waiting queues.
+
+**Continuous batching.**  Unlike the single-model
+:class:`~repro.serving.batcher.DynamicBatcher`, which may hold a partial
+batch for up to ``max_wait_ms``, the fleet scheduler never sleeps on
+purpose: the moment a worker is free and any queue is non-empty, it forms
+a micro-batch from whatever requests are ready *now* (whole requests, FIFO
+per model, up to the model's ``max_batch_size`` rows) and dispatches it.
+Under fleet-level load there is always other work to run, so idling a
+worker to fatten one model's batch only adds latency.
+
+**Weighted-fair selection.**  Queues are picked by stride scheduling:
+every model carries a ``pass`` value advanced by ``rows / weight`` each
+time it is served, and the non-empty queue with the smallest pass goes
+next.  A model with twice the weight gets twice the rows over time, and no
+backlogged model can be starved — its pass stops advancing while others'
+grow.  A model whose queue was empty re-enters at the scheduler's current
+virtual time, so an idle model cannot bank credit and then monopolise the
+pool.
+
+**Cold models.**  Serving an evicted model means restoring its bytes
+first, so the scheduler prefers hot work while a restore is in flight: if
+the fair pick is evicted and a resident model also has work, the resident
+one runs, the cold model's restore is kicked off in the background
+(prefetch), and a skip counter guarantees the cold model is served
+unconditionally after at most ``max_cold_skips`` deferrals — bounded
+unfairness, never starvation.  Arrival at an evicted model's queue also
+triggers a prefetch, so restores overlap other models' compute.
+
+**Exactness.**  Every model executes at its own fixed compute geometry
+(micro-batches padded via :func:`~repro.serving.replica.pad_rows`), and
+evict/restore round-trips are bit-exact, so a fleet answer is
+``array_equal`` to a dedicated single-model :class:`ModelServer` at the
+same geometry — whether the model happened to be resident or evicted.
+
+A watchdog thread (SGLang-style) observes the scheduler from outside:
+every ``watchdog_interval_s`` it logs per-batch throughput and queue
+depths, and flags a stall when requests are queued but no batch completed
+over a whole interval.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.data.dataloader import Batch
+from repro.exceptions import (
+    ConfigurationError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.memory import (
+    DeviceArena,
+    HostShardCache,
+    Prefetcher,
+    ResidencyState,
+    SpillManager,
+)
+from repro.models.base import ShardableModel
+from repro.serving.batcher import InferenceRequest, PendingResponse
+from repro.serving.replica import concat_rows, pad_rows, request_rows, slice_rows
+from repro.serving.server import RequestArrays
+from repro.serving.stats import ServerStats
+
+logger = logging.getLogger(__name__)
+
+#: arena name of the fleet's single shared serving device
+_FLEET_ARENA = "fleet0"
+#: arena capacity standing in for "no budget" (effectively unbounded)
+_UNBOUNDED = 1 << 62
+
+
+@dataclass
+class ModelEntry:
+    """One model under fleet management (internal to the router).
+
+    Holds the model's queue, batching geometry, fair-share state, and its
+    whole-model key in the shared spill manager.
+    """
+
+    name: str
+    model: ShardableModel
+    weight: float
+    max_batch_size: int
+    compute_batch_size: int
+    max_queue: int
+    nbytes: int
+    queue: List[InferenceRequest] = field(default_factory=list)
+    #: stride-scheduling pass value — served rows / weight, monotone
+    pass_value: float = 0.0
+    #: consecutive times the scheduler deferred this model while evicted
+    cold_skips: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The model's whole-model shard key in the shared spill manager."""
+        return (self.name, 0)
+
+
+class RouterHandle:
+    """A single-model view of a router, API-compatible with a server.
+
+    ``handle = router.handle("mlp-a")`` gives load generators and client
+    code the familiar ``submit``/``request`` surface without threading the
+    model name through every call.
+    """
+
+    def __init__(self, router: "FleetRouter", model: str):
+        self.router = router
+        self.model = model
+
+    def submit(
+        self, arrays: RequestArrays, timeout_ms: Optional[float] = None
+    ) -> PendingResponse:
+        """Enqueue one request for this handle's model."""
+        return self.router.submit(self.model, arrays, timeout_ms=timeout_ms)
+
+    def request(
+        self, arrays: RequestArrays, timeout_ms: Optional[float] = None
+    ) -> Any:
+        """Synchronous convenience: submit then wait for the rows."""
+        return self.router.request(self.model, arrays, timeout_ms=timeout_ms)
+
+    def metrics(self, window_seconds: Optional[float] = None) -> Dict[str, float]:
+        """This model's latency/throughput snapshot."""
+        return self.router.stats.for_model(self.model).snapshot(
+            window_seconds=window_seconds
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RouterHandle({self.model!r} on {self.router.name!r})"
+
+
+class FleetRouter:
+    """Serves every registered model through one pool and one budget.
+
+    Example::
+
+        router = FleetRouter(memory_budget=budget, replicas=2)
+        router.add_model("mlp-a", model_a)
+        router.add_model("mlp-b", model_b, weight=2.0)
+        with router:
+            logits = router.request("mlp-a", {"features": x})
+            report = router.metrics()
+
+    ``memory_budget`` (bytes) bounds the models' combined device residency;
+    ``None`` keeps every model resident.  ``max_batch_size`` / ``max_queue``
+    / ``timeout_ms`` are fleet-wide defaults that :meth:`add_model` can
+    override per model.  ``max_cold_skips`` bounds how often the scheduler
+    may defer an evicted model in favour of resident work.
+
+    Raises:
+        ConfigurationError: for invalid counts/budgets, unknown or duplicate
+            model names, or a model larger than the budget.
+        ServingError: from the request path when the router is not running.
+        ServerOverloadedError: when the target model's queue is full.
+    """
+
+    def __init__(
+        self,
+        memory_budget: Optional[int] = None,
+        replicas: int = 2,
+        max_batch_size: int = 8,
+        max_queue: int = 64,
+        timeout_ms: Optional[float] = None,
+        eviction_policy: str = "lru",
+        prefetch: bool = True,
+        scrub_evicted: bool = False,
+        spill_dir: Optional[str] = None,
+        max_cold_skips: int = 3,
+        watchdog_interval_s: Optional[float] = 5.0,
+        feature_field: str = "features",
+        name: str = "fleet",
+    ):
+        if replicas <= 0:
+            raise ConfigurationError(f"replicas must be positive, got {replicas}")
+        if max_batch_size <= 0:
+            raise ConfigurationError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        if max_queue <= 0:
+            raise ConfigurationError(f"max_queue must be positive, got {max_queue}")
+        if memory_budget is not None and memory_budget <= 0:
+            raise ConfigurationError(
+                f"memory_budget must be positive, got {memory_budget}"
+            )
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ConfigurationError(f"timeout_ms must be positive, got {timeout_ms}")
+        if max_cold_skips < 0:
+            raise ConfigurationError(
+                f"max_cold_skips must be >= 0, got {max_cold_skips}"
+            )
+        self.name = name
+        self.replicas = int(replicas)
+        self.max_batch_size = int(max_batch_size)
+        self.max_queue = int(max_queue)
+        self.timeout_ms = timeout_ms
+        self.feature_field = feature_field
+        self.max_cold_skips = int(max_cold_skips)
+        self.watchdog_interval_s = watchdog_interval_s
+        self._budget = None if memory_budget is None else int(memory_budget)
+        self._manager = SpillManager(
+            [DeviceArena(_FLEET_ARENA, self._budget or _UNBOUNDED)],
+            cache=HostShardCache(spill_dir=spill_dir),
+            policy=eviction_policy,
+            prefetcher=Prefetcher() if prefetch else None,
+            scrub_evicted=scrub_evicted,
+        )
+        self.stats = ServerStats()
+        self._entries: Dict[str, ModelEntry] = {}
+        self._cond = threading.Condition()
+        self._virtual_time = 0.0
+        self._batches_dispatched = 0
+        self._stalls = 0
+        self._pool = None
+        self._loops: List[Any] = []
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        self._running = False
+        self._stopped = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Fleet membership
+    # ------------------------------------------------------------------ #
+    def add_model(
+        self,
+        name: str,
+        model: ShardableModel,
+        weight: float = 1.0,
+        max_batch_size: Optional[int] = None,
+        compute_batch_size: Optional[int] = None,
+        max_queue: Optional[int] = None,
+    ) -> ModelEntry:
+        """Register one model with the fleet (before or while serving).
+
+        The model is put in ``eval`` mode and its whole parameter set is
+        registered against the shared budget.  ``weight`` scales its fair
+        share of the pool; ``max_batch_size``/``compute_batch_size``/
+        ``max_queue`` default to the router-wide settings.  The compute
+        geometry must match any dedicated server the model's responses are
+        compared against — exactness is per-geometry.
+        """
+        if self._stopped:
+            raise ServingError(
+                f"router {self.name!r} was stopped; build a new router"
+            )
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        batch = int(max_batch_size) if max_batch_size is not None else self.max_batch_size
+        compute = int(compute_batch_size) if compute_batch_size is not None else batch
+        queue_limit = int(max_queue) if max_queue is not None else self.max_queue
+        if batch <= 0 or queue_limit <= 0:
+            raise ConfigurationError(
+                f"max_batch_size ({batch}) and max_queue ({queue_limit}) must be positive"
+            )
+        if compute < batch:
+            raise ConfigurationError(
+                f"compute_batch_size ({compute}) must be >= max_batch_size ({batch})"
+            )
+        model.eval()
+        nbytes = sum(p.data.nbytes for p in model.parameters())
+        if self._budget is not None and nbytes > self._budget:
+            raise ConfigurationError(
+                f"model {name!r} needs {nbytes} bytes but the fleet budget is "
+                f"{self._budget}; a model must fit the budget whole"
+            )
+        entry = ModelEntry(
+            name=name,
+            model=model,
+            weight=float(weight),
+            max_batch_size=batch,
+            compute_batch_size=compute,
+            max_queue=queue_limit,
+            nbytes=nbytes,
+        )
+        with self._cond:
+            if name in self._entries:
+                raise ConfigurationError(
+                    f"model {name!r} is already registered with router {self.name!r}"
+                )
+            self._entries[name] = entry
+            # A newly added model starts at the scheduler's virtual time so
+            # it cannot claim the pool retroactively for epochs it sat out.
+            entry.pass_value = self._virtual_time
+        self._manager.register(
+            entry.key,
+            _FLEET_ARENA,
+            nbytes,
+            lambda model=model: [p.data for p in model.parameters()],
+        )
+        self.stats.for_model(name)  # a zeroed row in reports from day one
+        return entry
+
+    @property
+    def models(self) -> List[str]:
+        """Registered model names, sorted."""
+        with self._cond:
+            return sorted(self._entries)
+
+    def handle(self, model: str) -> RouterHandle:
+        """A server-shaped view of one model (for load generators, clients)."""
+        self._entry(model)
+        return RouterHandle(self, model)
+
+    def resident_models(self) -> List[str]:
+        """Models whose parameters are currently on the serving device."""
+        return [key[0] for key in self._manager.resident_keys()]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "FleetRouter":
+        """Start the worker pool (and watchdog); models may be added later."""
+        if self._running:
+            return self
+        if self._stopped:
+            raise ServingError(
+                f"router {self.name!r} was stopped; build a new router"
+            )
+        # Imported lazily: repro.api initialisation imports the serving
+        # facade, which imports this package (same cycle ModelServer breaks).
+        from repro.api.runtime.pool import ThreadWorkerPool
+
+        self._pool = ThreadWorkerPool(self.replicas)
+        self._running = True
+        self._loops = [
+            self._pool.submit(self._serve_loop) for _ in range(self.replicas)
+        ]
+        if self.watchdog_interval_s is not None and self.watchdog_interval_s > 0:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name=f"{self.name}-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the router; with ``drain`` (default) queued requests finish.
+
+        Stopping releases the shared spill state: every model's canonical
+        bytes are restored into its live parameter arrays (an evicted
+        model's truth lives in the host cache until then), so the model
+        objects remain usable after the router lets go.
+        """
+        if not self._running:
+            return
+        with self._cond:
+            self._closed = True
+            if not drain:
+                cancelled = [
+                    request for entry in self._entries.values() for request in entry.queue
+                ]
+                for entry in self._entries.values():
+                    entry.queue = []
+            else:
+                cancelled = []
+            self._cond.notify_all()
+        for request in cancelled:
+            request.response.set_exception(ServingError("router stopped"))
+        try:
+            for future in self._loops:
+                future.result()
+        finally:
+            self._running = False
+            self._stopped = True
+            self._loops = []
+            self._watchdog_stop.set()
+            if self._watchdog is not None:
+                self._watchdog.join(timeout=5.0)
+                self._watchdog = None
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+            for name in list(self._entries):
+                self._manager.forget_model(name)
+            self._manager.close()
+
+    def __enter__(self) -> "FleetRouter":
+        """Start the router on scope entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Stop the router (draining queued requests) on scope exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        model: str,
+        arrays: RequestArrays,
+        timeout_ms: Optional[float] = None,
+    ) -> PendingResponse:
+        """Enqueue one request for ``model`` and return its response handle.
+
+        Admission control is **per model**: a full queue for one model
+        rejects that model's traffic only — the rest of the fleet keeps
+        accepting.  Arrival at an evicted model's queue kicks off its
+        restore in the background so the bytes travel while other models
+        compute.
+        """
+        if not self._running:
+            raise ServingError(f"router {self.name!r} is not running; call start()")
+        entry = self._entry(model)
+        if isinstance(arrays, np.ndarray):
+            arrays = {self.feature_field: arrays}
+        arrays = {name: np.asarray(values) for name, values in arrays.items()}
+        rows = request_rows(arrays)
+        if rows <= 0:
+            raise ConfigurationError("a request must carry at least one row")
+        if rows > entry.max_batch_size:
+            raise ConfigurationError(
+                f"request carries {rows} rows but model {model!r} batches at most "
+                f"{entry.max_batch_size}; split it client-side"
+            )
+        now = time.monotonic()
+        limit = timeout_ms if timeout_ms is not None else self.timeout_ms
+        request = InferenceRequest(
+            arrays=arrays,
+            rows=rows,
+            submitted=now,
+            deadline=None if limit is None else now + float(limit) / 1e3,
+        )
+        with self._cond:
+            if self._closed:
+                raise ServingError("router is stopped; no new requests accepted")
+            if len(entry.queue) >= entry.max_queue:
+                self.stats.count(model, rejected=1)
+                raise ServerOverloadedError(
+                    f"model {model!r} queue is full ({entry.max_queue} pending); "
+                    "retry later"
+                )
+            if not entry.queue:
+                # Re-entering the ready set: catch up to the virtual time so
+                # an idle spell does not convert into a burst entitlement.
+                entry.pass_value = max(entry.pass_value, self._virtual_time)
+            entry.queue.append(request)
+            self._cond.notify_all()
+        # Outside the router lock: the manager has its own locking, and a
+        # restore started now overlaps whatever the workers are computing.
+        if self._manager.residency(entry.key) is ResidencyState.EVICTED:
+            self._manager.prefetch(entry.key)
+        return request.response
+
+    def request(
+        self,
+        model: str,
+        arrays: RequestArrays,
+        timeout_ms: Optional[float] = None,
+    ) -> Any:
+        """Synchronous convenience: :meth:`submit` then wait for the rows."""
+        limit = timeout_ms if timeout_ms is not None else self.timeout_ms
+        # Slack past the server-side deadline so the scheduler's own expiry
+        # (the authoritative one) fires first.
+        wait = None if limit is None else float(limit) / 1e3 + 1.0
+        return self.submit(model, arrays, timeout_ms=timeout_ms).result(timeout=wait)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depths(self) -> Dict[str, int]:
+        """Requests currently waiting, per model."""
+        with self._cond:
+            return {name: len(entry.queue) for name, entry in sorted(self._entries.items())}
+
+    def metrics(self, window_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Fleet and per-model latency/throughput plus residency counters.
+
+        The ``"fleet"`` and ``"models"`` sections carry p50/p95/p99,
+        throughput, batch fill, and the failure counters; ``"residency"``
+        reports the shared budget's evictions/restores and which models are
+        hot; ``"scheduler"`` reports queue depths and watchdog stalls.
+        """
+        report: Dict[str, Any] = self.stats.snapshot(window_seconds=window_seconds)
+        spill = self._manager.stats.as_dict()
+        report["residency"] = {
+            "budget_bytes": self._budget,
+            "registered_bytes": self._manager.registered_bytes(),
+            "resident_bytes": self._manager.resident_bytes(),
+            "resident_models": self.resident_models(),
+            "evictions": spill["evictions"],
+            "restores": spill["demand_fetches"] + spill["prefetches_completed"],
+            "bytes_evicted": spill["bytes_evicted"],
+            "bytes_fetched": spill["bytes_fetched"],
+        }
+        with self._cond:
+            report["scheduler"] = {
+                "queue_depths": {
+                    name: len(entry.queue)
+                    for name, entry in sorted(self._entries.items())
+                },
+                "batches_dispatched": self._batches_dispatched,
+                "stalls": self._stalls,
+            }
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Scheduler internals
+    # ------------------------------------------------------------------ #
+    def _entry(self, model: str) -> ModelEntry:
+        with self._cond:
+            if model not in self._entries:
+                raise ConfigurationError(
+                    f"router {self.name!r} has no model {model!r}; "
+                    f"registered: {sorted(self._entries) or 'none'}"
+                )
+            return self._entries[model]
+
+    def _expire_locked(self) -> None:
+        now = time.monotonic()
+        for entry in self._entries.values():
+            overdue = [request for request in entry.queue if request.expired(now)]
+            if not overdue:
+                continue
+            entry.queue = [
+                request for request in entry.queue if not request.expired(now)
+            ]
+            for request in overdue:
+                request.response.set_exception(
+                    RequestTimeoutError(
+                        "request expired after "
+                        f"{now - request.submitted:.3f}s in the queue"
+                    )
+                )
+            self.stats.count(entry.name, timed_out=len(overdue))
+
+    def _poll_interval_locked(self) -> float:
+        """Wait granularity: wake early enough to expire the nearest deadline."""
+        now = time.monotonic()
+        deadlines = [
+            request.deadline - now
+            for entry in self._entries.values()
+            for request in entry.queue
+            if request.deadline is not None
+        ]
+        nearest = min(deadlines) if deadlines else 0.05
+        return max(min(nearest, 0.05), 1e-4)
+
+    def _take_locked(self, entry: ModelEntry) -> Tuple[List[InferenceRequest], int]:
+        taken: List[InferenceRequest] = []
+        rows = 0
+        while entry.queue and rows + entry.queue[0].rows <= entry.max_batch_size:
+            request = entry.queue.pop(0)
+            taken.append(request)
+            rows += request.rows
+        self._cond.notify_all()
+        return taken, rows
+
+    def _next_assignment(
+        self,
+    ) -> Optional[Tuple[ModelEntry, List[InferenceRequest], int, Dict[str, int]]]:
+        """Block until a micro-batch is ready; ``None`` once closed and drained.
+
+        Continuous batching: as soon as any queue is non-empty the batch is
+        formed from what is there — no fill window.  Selection is stride
+        (weighted-fair) with the bounded hot-model preference described in
+        the module docstring.
+        """
+        with self._cond:
+            while True:
+                self._expire_locked()
+                ready = [entry for entry in self._entries.values() if entry.queue]
+                if not ready:
+                    if self._closed:
+                        return None
+                    self._cond.wait(timeout=self._poll_interval_locked())
+                    continue
+                chosen = min(ready, key=lambda e: (e.pass_value, e.name))
+                if (
+                    chosen.cold_skips < self.max_cold_skips
+                    and self._manager.residency(chosen.key)
+                    is not ResidencyState.RESIDENT
+                ):
+                    # Cold (evicted or mid-restore): a worker that took this
+                    # batch would block in acquire — possibly on an eviction
+                    # that needs the *other* workers to unpin first.
+                    hot = [
+                        entry
+                        for entry in ready
+                        if entry is not chosen
+                        and self._manager.residency(entry.key)
+                        is ResidencyState.RESIDENT
+                    ]
+                    if hot:
+                        # Defer the cold pick (bounded), start its restore,
+                        # and run resident work meanwhile.
+                        chosen.cold_skips += 1
+                        self._manager.prefetch(chosen.key)
+                        chosen = min(hot, key=lambda e: (e.pass_value, e.name))
+                chosen.cold_skips = 0
+                self._virtual_time = chosen.pass_value
+                batch, rows = self._take_locked(chosen)
+                chosen.pass_value += rows / chosen.weight
+                self._batches_dispatched += 1
+                depths = {
+                    name: len(entry.queue) for name, entry in self._entries.items()
+                }
+                return chosen, batch, rows, depths
+
+    def _serve_loop(self) -> None:
+        """One worker's life: pick a (model, batch), lease, infer, complete."""
+        while True:
+            assignment = self._next_assignment()
+            if assignment is None:
+                return
+            entry, batch, rows, depths = assignment
+            started = time.monotonic()
+            try:
+                arrays = concat_rows([request.arrays for request in batch])
+                padded = pad_rows(arrays, rows, entry.compute_batch_size)
+                # The lease pins the whole model resident (restoring it from
+                # the host cache if it was evicted) for exactly this forward.
+                with self._manager.lease(entry.key):
+                    with no_grad():
+                        output = entry.model.forward(
+                            Batch(arrays={k: np.asarray(v) for k, v in padded.items()})
+                        )
+                output = slice_rows(output, 0, rows)
+            except BaseException as error:  # noqa: BLE001 - mirrored to clients
+                for request in batch:
+                    request.response.set_exception(
+                        ServingError(
+                            f"model {entry.name!r} failed on a micro-batch: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    )
+                self.stats.count(entry.name, failed=len(batch))
+                continue
+            finished = time.monotonic()
+            offset = 0
+            for request in batch:
+                request.response.set_result(
+                    slice_rows(output, offset, offset + request.rows)
+                )
+                offset += request.rows
+                self.stats.record(entry.name, finished - request.submitted)
+            self.stats.record_batch(entry.name, rows, queue_depth=sum(depths.values()))
+            logger.debug(
+                "router=%s batch model=%s rows=%d/%d requests=%d infer_ms=%.2f queues=%s",
+                self.name,
+                entry.name,
+                rows,
+                entry.compute_batch_size,
+                len(batch),
+                (finished - started) * 1e3,
+                depths,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _watchdog_loop(self) -> None:
+        """Log per-interval progress; flag stalls (queued work, no batches)."""
+        last_completed = self.stats.fleet.completed
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            depths = self.queue_depths
+            queued = sum(depths.values())
+            completed = self.stats.fleet.completed
+            progressed = completed - last_completed
+            last_completed = completed
+            if queued and progressed == 0:
+                with self._cond:
+                    self._stalls += 1
+                logger.warning(
+                    "router=%s watchdog: no progress for %.1fs with %d queued "
+                    "(queues=%s resident=%s)",
+                    self.name,
+                    self.watchdog_interval_s,
+                    queued,
+                    depths,
+                    self.resident_models(),
+                )
+            else:
+                logger.debug(
+                    "router=%s watchdog: +%d completed (%.0f rps), queued=%d, resident=%s",
+                    self.name,
+                    progressed,
+                    progressed / self.watchdog_interval_s,
+                    queued,
+                    self.resident_models(),
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        budget = "unbounded" if self._budget is None else f"{self._budget}B"
+        return (
+            f"FleetRouter({self.name!r}, models={self.models}, "
+            f"replicas={self.replicas}, budget={budget})"
+        )

@@ -240,7 +240,7 @@ class ModelServer:
                 offset += request.rows
                 request.response.set_result(rows)
                 self.stats.record(finished - request.submitted)
-            self.stats.record_batch(offset)
+            self.stats.record_batch(offset, queue_depth=self._batcher.pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = sum(1 for replica in self.replicas if replica.is_spilled)

@@ -6,6 +6,11 @@ path, and metric readers never race.  Percentiles are computed on demand
 from the raw samples — serving runs here are thousands of requests, not
 millions, so keeping every sample is cheaper than maintaining a sketch and
 keeps p99 exact.
+
+:class:`ServerStats` is the fleet-level aggregation the
+:class:`~repro.serving.router.FleetRouter` reports through: one fleet-wide
+:class:`LatencyStats` plus one per model, fed together so a single request
+lands in both its model's distribution and the fleet's.
 """
 
 from __future__ import annotations
@@ -67,6 +72,9 @@ class LatencyStats:
         self.failed = 0
         self.batches = 0
         self.batch_rows = 0
+        self.queue_depth_max = 0
+        self._queue_depth_sum = 0
+        self._queue_depth_samples = 0
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -82,11 +90,22 @@ class LatencyStats:
             self.timed_out += timed_out
             self.failed += failed
 
-    def record_batch(self, rows: int) -> None:
-        """Record one executed micro-batch of ``rows`` coalesced rows."""
+    def record_batch(self, rows: int, queue_depth: Optional[int] = None) -> None:
+        """Record one executed micro-batch of ``rows`` coalesced rows.
+
+        ``queue_depth`` is the number of requests still waiting when the
+        batch was formed — the scheduler metric that, next to the batch fill,
+        says whether the server is keeping up or falling behind.
+        """
         with self._lock:
             self.batches += 1
             self.batch_rows += int(rows)
+            if queue_depth is not None:
+                depth = int(queue_depth)
+                self._queue_depth_sum += depth
+                self._queue_depth_samples += 1
+                if depth > self.queue_depth_max:
+                    self.queue_depth_max = depth
 
     @property
     def completed(self) -> int:
@@ -117,7 +136,90 @@ class LatencyStats:
                 "mean_batch_rows": (
                     self.batch_rows / self.batches if self.batches else 0.0
                 ),
+                "queue_depth_max": float(self.queue_depth_max),
+                "queue_depth_mean": (
+                    self._queue_depth_sum / self._queue_depth_samples
+                    if self._queue_depth_samples
+                    else 0.0
+                ),
                 "throughput_rps": len(latencies) / elapsed,
             }
         report.update(latency_summary(latencies))
         return report
+
+
+class ServerStats:
+    """Two-level accounting: per-model distributions plus the fleet total.
+
+    Every recording call names the model it belongs to; the sample lands in
+    that model's :class:`LatencyStats` *and* the fleet-wide one, so
+    ``snapshot()`` reports p50/p95/p99 at both granularities from one pass
+    over the traffic.  Model collectors are created on first touch — the
+    router registers models dynamically, and a model that never saw traffic
+    still deserves a (zeroed) row in the report.
+
+    Example::
+
+        stats = ServerStats()
+        stats.record("mlp-a", 0.004)
+        snap = stats.snapshot()
+        assert snap["fleet"]["completed"] == 1
+        assert snap["models"]["mlp-a"]["completed"] == 1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.fleet = LatencyStats()
+        self._models: Dict[str, LatencyStats] = {}
+
+    def for_model(self, model: str) -> LatencyStats:
+        """The named model's collector (created on first use)."""
+        with self._lock:
+            if model not in self._models:
+                self._models[model] = LatencyStats()
+            return self._models[model]
+
+    def model_names(self) -> List[str]:
+        """Models with a collector, sorted."""
+        with self._lock:
+            return sorted(self._models)
+
+    # ------------------------------------------------------------------ #
+    def record(self, model: str, latency_seconds: float) -> None:
+        """Record one completed request against its model and the fleet."""
+        self.for_model(model).record(latency_seconds)
+        self.fleet.record(latency_seconds)
+
+    def count(
+        self, model: str, *, rejected: int = 0, timed_out: int = 0, failed: int = 0
+    ) -> None:
+        """Bump failure counters on the model and the fleet together."""
+        self.for_model(model).count(
+            rejected=rejected, timed_out=timed_out, failed=failed
+        )
+        self.fleet.count(rejected=rejected, timed_out=timed_out, failed=failed)
+
+    def record_batch(
+        self, model: str, rows: int, queue_depth: Optional[int] = None
+    ) -> None:
+        """Record one dispatched micro-batch (scheduler metrics included).
+
+        ``queue_depth`` is the *fleet-wide* number of requests still queued
+        at dispatch; it is recorded on the fleet collector only, since a
+        per-model depth at fleet-batch granularity would double count.
+        """
+        self.for_model(model).record_batch(rows)
+        self.fleet.record_batch(rows, queue_depth=queue_depth)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self, window_seconds: Optional[float] = None) -> Dict[str, Dict]:
+        """``{"fleet": {...}, "models": {name: {...}}}`` — plain dicts."""
+        with self._lock:
+            models = dict(self._models)
+        return {
+            "fleet": self.fleet.snapshot(window_seconds=window_seconds),
+            "models": {
+                name: stats.snapshot(window_seconds=window_seconds)
+                for name, stats in sorted(models.items())
+            },
+        }

@@ -321,6 +321,39 @@ class TestDynamicBatcher:
         assert batcher.next_batch() == [stale]
         assert time.monotonic() - started < 0.1  # no second 200 ms wait
 
+    def test_saturated_batch_dispatches_without_waiting(self):
+        # A full batch cannot grow, so a huge fill window must not delay it.
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=5000.0, max_queue=16)
+        saturating = [self._request(rows=2), self._request(rows=2)]
+        for request in saturating:
+            batcher.submit(request)
+        started = time.monotonic()
+        assert batcher.next_batch() == saturating
+        assert time.monotonic() - started < 1.0  # not the 5-second window
+
+    def test_unfittable_next_request_saturates_the_batch(self):
+        # 3 rows collected, the next 3-row request would overflow 4: waiting
+        # longer cannot add it (requests are never split), so dispatch now.
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=5000.0, max_queue=16)
+        first = self._request(rows=3)
+        blocked = self._request(rows=3)
+        batcher.submit(first)
+        batcher.submit(blocked)
+        started = time.monotonic()
+        assert batcher.next_batch() == [first]
+        assert time.monotonic() - started < 1.0
+        assert batcher.next_batch() == [blocked]
+
+    def test_unsaturated_batch_still_waits_the_window(self):
+        # Saturation dispatch must not erode the fill window for batches
+        # that could still grow: a lone 1-row request waits ~max_wait_ms.
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=50.0, max_queue=16)
+        lone = self._request(rows=1)
+        batcher.submit(lone)
+        started = time.monotonic()
+        assert batcher.next_batch() == [lone]
+        assert time.monotonic() - started >= 0.045
+
     def test_close_drains_then_signals_none(self):
         batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=1.0, max_queue=4)
         queued = self._request()
@@ -575,3 +608,45 @@ class TestLoadGenerator:
             ).run()
         assert report.completed + report.rejected == 12
         assert report.rejected > 0
+
+    def test_open_loop_injects_on_schedule(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.normal(size=(8, 16)).astype(np.float32)
+        server = ModelServer(
+            [Replica.resident(make_model())],
+            max_batch_size=4,
+            max_wait_ms=1.0,
+            max_queue=128,
+        )
+        with server:
+            warm_up(server, inputs[:1])
+            report = LoadGenerator(
+                server,
+                lambda client, index: inputs[index % 8 : index % 8 + 1],
+                clients=4,
+                requests_per_client=10,
+                arrival_rate_rps=200.0,
+            ).run()
+        assert report.mode == "open"
+        assert report.offered_rps == 200.0
+        assert report.completed == 40
+        # 40 arrivals at 200/s occupy ~0.2s of schedule: open loop paces the
+        # run by the arrival process, not by response latency.
+        assert report.duration_seconds >= 0.15
+        assert report.latency["latency_p99_ms"] >= report.latency["latency_p50_ms"]
+
+    def test_open_loop_latency_uses_completion_stamps(self):
+        # A response that completed long before collection must be charged
+        # its completion-time latency, not the collection-time one.
+        server = ModelServer(
+            [Replica.resident(make_model())],
+            max_batch_size=4,
+            max_wait_ms=0.0,
+            max_queue=32,
+        )
+        with server:
+            response = server.submit(np.zeros((1, 16), np.float32))
+            response.result(timeout=5.0)
+            assert response.completed_at is not None
+            time.sleep(0.2)  # collection happens much later
+            assert response.completed_at < time.monotonic() - 0.15
