@@ -44,6 +44,8 @@ _API_EXPORTS = (
     "FunctionBackend",
     "GridSearcher",
     "LoggingCallback",
+    "ModelSpec",
+    "ProcessReplica",
     "ProcessWorkerPool",
     "RandomSearcher",
     "ResumableFunctionBackend",

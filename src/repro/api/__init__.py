@@ -34,6 +34,8 @@ from repro.api.backend import CohortEngineBackend, ExecutionBackend, TrialHandle
 from repro.api.runtime import (
     AsyncTrialRunner,
     ConcurrentBackend,
+    ModelSpec,
+    ProcessReplica,
     ProcessWorkerPool,
     RetryPolicy,
     SerialWorkerPool,
@@ -82,6 +84,8 @@ __all__ = [
     "FunctionBackend",
     "GridSearcher",
     "LoggingCallback",
+    "ModelSpec",
+    "ProcessReplica",
     "ProcessWorkerPool",
     "RandomSearcher",
     "ResumableFunctionBackend",

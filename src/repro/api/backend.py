@@ -115,6 +115,44 @@ class ExecutionBackend:
         """Release per-trial state (models, plans, loaders)."""
         handle.state = None
 
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (process-pool trial transport)
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, handle: TrialHandle, directory: str) -> Any:
+        """Capture ``handle``'s trained state as a picklable token.
+
+        The process runtime runs each trial's training in a child process;
+        live state (models, optimizers, spill managers) cannot cross back
+        over the pipe, so after training the child calls ``save_snapshot``
+        and ships the returned token instead.  Backends with real training
+        state write a checkpoint under ``directory`` and return its path
+        (see :class:`~repro.api.backends.ShardParallelBackend`); the default
+        returns ``handle.state`` as-is, which suffices for backends whose
+        state already pickles (function backends, simulators).
+        """
+        return handle.state
+
+    def load_snapshot(self, handle: TrialHandle, snapshot: Any) -> None:
+        """Restore a :meth:`save_snapshot` token into ``handle``.
+
+        Called in the child before continuing a resumed trial and in the
+        parent after the child's report arrives.  The inverse of
+        :meth:`save_snapshot`; the default stores the token back as
+        ``handle.state``.
+        """
+        handle.state = snapshot
+
+    def finalize_snapshot(self, handle: TrialHandle) -> None:
+        """One-time retirement work for a snapshot-transported trial.
+
+        The process runtime retires trials in the *parent* (children skip
+        :meth:`teardown` so per-cohort side effects never run twice); a
+        backend whose teardown has publish-like side effects that need live
+        state — e.g. registry publication of trained weights — overrides
+        this to rebuild that state from the final snapshot first.  Runs
+        immediately before :meth:`teardown`; the default does nothing.
+        """
+
     def with_memory_budget(self, memory_budget) -> "ExecutionBackend":
         """A copy of this backend constrained to a per-device memory budget.
 

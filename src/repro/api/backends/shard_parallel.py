@@ -23,7 +23,8 @@ the unconstrained run (see ``docs/memory.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backend import CohortEngineBackend, TrialHandle
 from repro.data.dataloader import DataLoader
@@ -34,6 +35,7 @@ from repro.optim.optimizer import Optimizer
 from repro.selection.experiment import TrialConfig
 from repro.serving.registry import ModelRegistry
 from repro.sharding.partitioner import partition_uniform
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
 from repro.training.sharded_trainer import ShardParallelTrainer
 
 #: builds the live training objects for one trial
@@ -168,6 +170,18 @@ class ShardParallelBackend(CohortEngineBackend):
             **options,
         )
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without the spill manager (its threads are per-process)."""
+        state = dict(self.__dict__)
+        state["memory"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Rebuild the spill manager from the recorded memory options."""
+        self.__dict__.update(state)
+        if self._memory_options["memory_budget"] is not None:
+            self.memory = self._make_spill_manager(**self._memory_options)
+
     def close(self) -> None:
         """Release the spill manager's prefetch worker (no-op without one).
 
@@ -209,6 +223,70 @@ class ShardParallelBackend(CohortEngineBackend):
             )
         return trainer
 
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol (process-pool trial transport)
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, handle: TrialHandle, directory: str) -> str:
+        """Checkpoint the trial's full training state; return the path.
+
+        Called in a worker child after training: live models and optimizers
+        cannot cross the process boundary, so the trial comes home as a
+        checkpoint archive (``param::`` + ``opt::`` sections via
+        :func:`~repro.training.checkpoint.save_checkpoint`).  Evicted shards
+        are restored first (the spill manager is asked to forget the model),
+        so the archive holds the true trained parameters, never a host-cache
+        shadow.
+        """
+        state: _TrialState = handle.state
+        if self.memory is not None:
+            self.memory.forget_model(handle.trial_id)
+        path = save_checkpoint(
+            state.model,
+            Path(directory) / f"{handle.trial_id}-e{handle.epochs_trained}.npz",
+            optimizer=state.optimizer,
+        )
+        return str(path)
+
+    def load_snapshot(self, handle: TrialHandle, snapshot: Any) -> None:
+        """Restore a snapshot: into live state in a child, as a token elsewhere.
+
+        In a worker child resuming a trial (``handle.state`` is the live
+        :class:`_TrialState` built by :meth:`prepare`), the checkpoint is
+        loaded back into the model *and* optimizer — bit-identical resume.
+        In the parent (no live state) the path is kept as the handle state
+        for :meth:`finalize_snapshot` to publish from.
+        """
+        if snapshot is None:
+            return
+        if isinstance(handle.state, _TrialState):
+            state: _TrialState = handle.state
+            load_checkpoint(state.model, snapshot, optimizer=state.optimizer)
+        else:
+            handle.state = snapshot
+
+    def finalize_snapshot(self, handle: TrialHandle) -> None:
+        """Rebuild the trained model from its final snapshot for publication.
+
+        Process-pool trials retire in the parent holding only a checkpoint
+        path; when a registry is configured the builder reconstructs the
+        architecture, the checkpoint restores the trained parameters, and
+        the normal :meth:`teardown` publish path runs exactly once — the
+        worker children never publish.
+        """
+        snapshot = handle.state
+        if not isinstance(snapshot, (str, Path)):
+            return
+        if self.registry is None or handle.failure is not None:
+            handle.state = None
+            return
+        model, optimizer, loader = self.builder(handle.trial)
+        load_checkpoint(model, snapshot, optimizer=optimizer)
+        shard_count = self.num_shards
+        if shard_count is None:
+            shard_count = min(model.num_blocks(), self.num_devices)
+        boundaries = partition_uniform(model.profile(), shard_count)
+        handle.state = _TrialState(model, optimizer, loader, boundaries)
+
     def teardown(self, handle: TrialHandle) -> None:
         """Release the trial's live objects and its spill-manager bookkeeping.
 
@@ -222,7 +300,11 @@ class ShardParallelBackend(CohortEngineBackend):
         # Failed trials (fault-tolerant runtime) publish nothing: their
         # parameters are torn mid-training, and a later registry.load would
         # silently serve them as if they were the trial's trained weights.
-        if self.registry is not None and handle.state is not None and handle.failure is None:
+        if (
+            self.registry is not None
+            and isinstance(handle.state, _TrialState)
+            and handle.failure is None
+        ):
             state: _TrialState = handle.state
             metadata = {"epochs_trained": handle.epochs_trained}
             metadata.update(

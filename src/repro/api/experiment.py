@@ -351,6 +351,7 @@ class Experiment:
         workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         memory_budget=None,
+        pool: Optional[str] = None,
     ) -> SelectionResult:
         """Execute the experiment and return the ranked result.
 
@@ -369,6 +370,14 @@ class Experiment:
         rankings are deterministic regardless of worker count.  With neither
         ``workers`` nor ``retry``, the backend runs directly and a raising
         trial propagates (after the cohort is torn down).
+
+        ``pool`` picks the worker-pool flavour: ``"thread"`` (default) runs
+        trials on threads in this process; ``"process"`` places each trial
+        in a child **process** — true parallelism past the GIL for
+        CPU-bound training.  Process pools require a picklable backend
+        (module-level builder functions, not lambdas) and ship results back
+        as checkpoints; losses and rankings are bit-identical across pools
+        and worker counts.  Passing ``pool`` alone implies ``workers=1``.
 
         ``memory_budget`` (bytes per simulated device) opts the run into
         *spilled* execution on backends that support it (see
@@ -408,19 +417,20 @@ class Experiment:
             # The backend brought its own runtime; runtime knobs from the
             # call *or* the experiment would be silently dropped, so reject
             # them loudly.
-            if worker_count is not None or retry is not None:
+            if worker_count is not None or retry is not None or pool is not None:
                 raise ConfigurationError(
                     "backend is already a ConcurrentBackend; configure workers/"
-                    "retry on it at construction instead of passing them to "
-                    "run() or the Experiment"
+                    "retry/pool on it at construction instead of passing them "
+                    "to run() or the Experiment"
                 )
-        elif worker_count is not None or retry is not None:
+        elif worker_count is not None or retry is not None or pool is not None:
             # workers=1 still gets the fault-tolerant runtime — on the inline
             # serial pool — so retry semantics are identical at every count.
             engine = owned_runtime = ConcurrentBackend(
                 engine,
                 workers=worker_count if worker_count is not None else 1,
                 retry=retry,
+                pool_kind=pool if pool is not None else "thread",
             )
         searcher = (
             make_searcher(self.searcher) if isinstance(self.searcher, str) else self.searcher

@@ -11,11 +11,16 @@ Three pieces, layered bottom-up:
 * :mod:`~repro.api.runtime.concurrent` — :class:`ConcurrentBackend`, the
   :class:`~repro.api.backend.ExecutionBackend` wrapper that gives *any*
   backend pooled trial execution, reachable as
-  ``Experiment.run(backend=..., workers=N)``.
+  ``Experiment.run(backend=..., workers=N, pool="thread"|"process")``;
+* :mod:`~repro.api.runtime.proc` — the process-serving substrate:
+  :class:`ModelSpec` (handle-free, picklable model recipes) and
+  :class:`ProcessReplica` (serving replicas running in child processes
+  over shared-memory transport, weights mmapped from the registry).
 
 Determinism guarantee: outcomes are always collected in trial order, never
 completion order, so an experiment's :class:`SelectionResult` ranking is
-identical at every worker count.
+identical at every worker count — and, for picklable backends, across
+serial, thread, and process pools.
 """
 
 from repro.api.runtime.concurrent import ConcurrentBackend
@@ -26,11 +31,14 @@ from repro.api.runtime.pool import (
     WorkerPool,
     make_pool,
 )
+from repro.api.runtime.proc import ModelSpec, ProcessReplica
 from repro.api.runtime.runner import AsyncTrialRunner, RetryPolicy, TrialFault
 
 __all__ = [
     "AsyncTrialRunner",
     "ConcurrentBackend",
+    "ModelSpec",
+    "ProcessReplica",
     "ProcessWorkerPool",
     "RetryPolicy",
     "SerialWorkerPool",

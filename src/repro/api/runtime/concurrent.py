@@ -29,25 +29,100 @@ numerics — so losses and rankings match the serial run exactly.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.api.backend import ExecutionBackend, TrialHandle
 from repro.api.runtime.pool import WorkerPool, make_pool
 from repro.api.runtime.runner import AsyncTrialRunner, RetryPolicy, TrialFault
 from repro.exceptions import ConfigurationError
 from repro.selection.experiment import TrialConfig
+from repro.utils.serialization import probe_picklable
+
+
+@dataclass(frozen=True)
+class _ChildTrialReport:
+    """What one process-pool trial task ships back over the pipe.
+
+    Live state never crosses: ``snapshot`` is whatever the inner backend's
+    ``save_snapshot`` returned (a checkpoint path for real-training
+    backends), and the parent re-attaches it with ``load_snapshot``.
+    """
+
+    metrics: Dict[str, float]
+    elapsed: float
+    snapshot: Any
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+
+class _ChildTrialTask:
+    """A picklable per-trial task: one whole train call, run in a child.
+
+    The task carries the inner backend *by value* — every dispatch unpickles
+    a fresh copy in the worker child, which rebuilds per-process resources
+    (spill managers rebuild from their options; registries rebind to their
+    root directory).  The child never runs ``teardown``: publish-like
+    side effects happen exactly once, in the parent, at retirement
+    (``finalize_snapshot``).
+    """
+
+    def __init__(self, inner: ExecutionBackend, epochs: int, snapshot_dir: str):
+        self.inner = inner
+        self.epochs = epochs
+        self.snapshot_dir = snapshot_dir
+
+    def __call__(self, outer: TrialHandle) -> _ChildTrialReport:
+        backend = self.inner
+        try:
+            handle = backend.prepare(outer.trial)
+            handle.epochs_trained = outer.epochs_trained
+            if outer.state is not None:
+                backend.load_snapshot(handle, outer.state)
+            started = time.monotonic()
+            metrics = backend.train(handle, self.epochs)
+            elapsed = time.monotonic() - started
+            handle.epochs_trained += self.epochs
+            handle.last_metrics = dict(metrics)
+            snapshot = backend.save_snapshot(handle, self.snapshot_dir)
+            return _ChildTrialReport(
+                metrics=dict(metrics),
+                elapsed=elapsed,
+                snapshot=snapshot,
+                annotations=dict(handle.annotations),
+            )
+        finally:
+            # This unpickled backend copy dies with the task, but the child
+            # process persists — release any threads it started (prefetch
+            # workers) rather than accumulating them across tasks.
+            close = getattr(backend, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 - cleanup must not mask
+                    pass
 
 
 class ConcurrentBackend(ExecutionBackend):
     """Wraps any :class:`ExecutionBackend` with pooled, fault-tolerant trials.
 
-    ``workers`` sizes an owned thread pool; pass ``pool`` instead to share
-    one across backends (the caller keeps ownership).  ``retry`` configures
-    per-trial fault tolerance.  The wrapper is resumable exactly when the
-    inner backend is, so searcher eligibility (e.g. successive halving) is
-    unchanged.
+    ``workers`` sizes an owned pool of ``pool_kind`` (``"thread"`` by
+    default, ``"process"`` for GIL-free trials); pass ``pool`` instead to
+    share one across backends (the caller keeps ownership and ``pool_kind``
+    is ignored).  ``retry`` configures per-trial fault tolerance.  The
+    wrapper is resumable exactly when the inner backend is, so searcher
+    eligibility (e.g. successive halving) is unchanged.
+
+    With a **process** pool each trial's whole train call runs in a worker
+    child process: the inner backend must pickle (checked up front with a
+    round-trip probe — module-level builder functions yes, lambdas no), the
+    trial comes home as a ``save_snapshot`` token instead of live state,
+    and retirement (``finalize_snapshot`` + ``teardown``) happens exactly
+    once, in the parent.  Results are bit-identical to the thread and
+    serial pools at any worker count.
 
     Example::
 
@@ -61,16 +136,16 @@ class ConcurrentBackend(ExecutionBackend):
         finally:
             backend.close()
 
-    (``Experiment.run(..., workers=N)`` builds and closes one of these for
-    you; constructing it by hand is only needed for custom pools/policies.)
+    (``Experiment.run(..., workers=N, pool="...")`` builds and closes one
+    of these for you; constructing it by hand is only needed for custom
+    pools/policies.)
 
     Raises:
         ConfigurationError: if ``workers`` is not positive, the retry policy
             is invalid, the inner backend declares
             ``concurrency_safe = False`` (its metrics depend on cohort
-            co-scheduling — the cluster simulator), or the pool is
-            process-based (trial handles live in shared memory; a child
-            process could neither receive them nor send state back).
+            co-scheduling — the cluster simulator), or a process pool is
+            requested for an inner backend that cannot pickle.
     """
 
     resumable = True  # overwritten per-instance from the inner backend
@@ -81,6 +156,7 @@ class ConcurrentBackend(ExecutionBackend):
         workers: int = 4,
         pool: Optional[WorkerPool] = None,
         retry: Optional[RetryPolicy] = None,
+        pool_kind: str = "thread",
     ):
         if not inner.concurrency_safe:
             raise ConfigurationError(
@@ -88,13 +164,16 @@ class ConcurrentBackend(ExecutionBackend):
                 f"concurrent per-trial dispatch would change its metrics, not "
                 f"accelerate it — run it without workers"
             )
-        if pool is not None and pool.kind == "process":
-            raise ConfigurationError(
-                "ConcurrentBackend requires an in-process pool (serial/thread): "
-                "trial handles and backend state cannot cross a process "
-                "boundary; use ProcessWorkerPool with AsyncTrialRunner and "
-                "self-contained tasks instead"
-            )
+        requested_kind = pool.kind if pool is not None else pool_kind
+        if requested_kind == "process":
+            problem = probe_picklable(inner)
+            if problem is not None:
+                raise ConfigurationError(
+                    f"backend {inner.name!r} cannot cross a process boundary "
+                    f"({problem}); process pools ship the backend to worker "
+                    "children by pickling it — use module-level builder "
+                    "functions (not closures/lambdas), or a thread pool"
+                )
         self.inner = inner
         self.name = f"concurrent({inner.name})"
         self.resumable = inner.resumable
@@ -102,8 +181,12 @@ class ConcurrentBackend(ExecutionBackend):
             self.pool = pool
             self._owned_pool: Optional[WorkerPool] = None
         else:
-            self.pool = make_pool(workers)
+            self.pool = make_pool(workers, kind=pool_kind)
             self._owned_pool = self.pool
+        self._process_mode = self.pool.kind == "process"
+        self._snapshot_dir: Optional[str] = None
+        if self._process_mode:
+            self._snapshot_dir = tempfile.mkdtemp(prefix="repro-trial-snapshots-")
         self.retry = retry if retry is not None else RetryPolicy()
         self._runner = AsyncTrialRunner(self.pool, self.retry)
         self._lock = threading.Lock()
@@ -141,9 +224,11 @@ class ConcurrentBackend(ExecutionBackend):
         that state).
         """
         live = [handle for handle in handles if handle.failure is None]
-        outcomes = self._runner.run_cohort(
-            lambda handle: self._train_one(handle, epochs), live
-        )
+        if self._process_mode:
+            task = _ChildTrialTask(self.inner, epochs, self._snapshot_dir)
+        else:
+            task = lambda handle: self._train_one(handle, epochs)  # noqa: E731
+        outcomes = self._runner.run_cohort(task, live)
         metrics: Dict[str, Dict[str, float]] = {}
         for handle in handles:
             outcome = outcomes.get(handle.trial_id)
@@ -152,6 +237,14 @@ class ConcurrentBackend(ExecutionBackend):
                     handle.failure = outcome
                     self._teardown_inner(handle)
                 metrics[handle.trial_id] = {}
+                continue
+            if isinstance(outcome, _ChildTrialReport):
+                handle.wall_seconds += outcome.elapsed
+                for key, value in outcome.annotations.items():
+                    handle.annotations.setdefault(key, value)
+                handle.last_metrics = dict(outcome.metrics)
+                self.inner.load_snapshot(handle, outcome.snapshot)
+                metrics[handle.trial_id] = dict(outcome.metrics)
                 continue
             trial_metrics, elapsed = outcome
             handle.wall_seconds += elapsed
@@ -178,6 +271,9 @@ class ConcurrentBackend(ExecutionBackend):
         """
         if self._owned_pool is not None:
             self._owned_pool.shutdown(wait=False)
+        if self._snapshot_dir is not None:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._snapshot_dir = None
 
     def __enter__(self) -> "ConcurrentBackend":
         return self
@@ -223,7 +319,21 @@ class ConcurrentBackend(ExecutionBackend):
         return inner_handle
 
     def _teardown_inner(self, handle: TrialHandle) -> None:
-        """Best-effort inner teardown; never raises (used on failure paths)."""
+        """Best-effort inner teardown; never raises (used on failure paths).
+
+        In process mode the outer handle's state is a snapshot token, not an
+        inner handle: retirement runs ``finalize_snapshot`` (rebuild trained
+        state for publish-like side effects) then ``teardown`` on the outer
+        handle itself — exactly once, in the parent; worker children never
+        tear down.
+        """
+        if self._process_mode:
+            try:
+                self.inner.finalize_snapshot(handle)
+                self.inner.teardown(handle)
+            except Exception:  # noqa: BLE001 - teardown must not mask the fault
+                handle.state = None
+            return
         with self._lock:
             inner_handle = handle.state
             handle.state = None

@@ -11,11 +11,20 @@ practical spectrum:
 * :class:`ThreadWorkerPool` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
   The default for trial execution: the numpy engine releases the GIL inside
   large array ops, and simulated / I/O-bound trials overlap perfectly.
-* :class:`ProcessWorkerPool` — a :class:`~concurrent.futures.ProcessPoolExecutor`
-  for CPU-bound, *picklable* work.  Trial handles that hold live models are
-  generally not picklable, so this pool suits pure-function workloads
-  (surrogate objectives, cost-model evaluations) rather than engine
-  backends.
+* :class:`ProcessWorkerPool` — true multi-process execution for CPU-bound,
+  *picklable* work (pure-python trial logic never escapes the GIL on
+  threads).  Each of the ``size`` slots owns one persistent ``spawn``-ed
+  child process; tasks travel over a private pipe, so a child that dies
+  mid-task (SIGKILL, OOM) fails **only that task** with
+  :class:`~repro.exceptions.WorkerCrashedError` and the slot respawns a
+  fresh child for the next one — unlike
+  :class:`~concurrent.futures.ProcessPoolExecutor`, whose
+  ``BrokenProcessPool`` condemns every pending future.
+
+Retry placement: :meth:`WorkerPool.submit_retrying` runs a task under a
+retry policy *inside the slot* (serial/thread pools) or *parent-side around
+the child* (process pool) — the latter is what lets a retry survive the
+death of the child that was running the previous attempt.
 
 Pools are context managers; :func:`make_pool` is the one-stop factory the
 rest of the runtime uses.
@@ -35,10 +44,31 @@ an import cycle.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerCrashedError
+
+
+def _run_with_retries(policy: Any, fn: Callable[..., Any], *args: Any) -> Any:
+    """The in-slot retry loop shared by serial and thread pools.
+
+    ``policy`` duck-types :class:`~repro.api.runtime.runner.RetryPolicy`
+    (``max_retries`` and ``delay(retry_index)``); this module cannot import
+    it without a cycle.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_retries + 1):
+        if attempt > 0:
+            time.sleep(policy.delay(attempt))
+        try:
+            return fn(*args)
+        except Exception as error:  # noqa: BLE001 - policy decides
+            last_error = error
+    raise last_error  # type: ignore[misc]
 
 
 class WorkerPool:
@@ -71,6 +101,17 @@ class WorkerPool:
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Schedule ``fn(*args, **kwargs)`` and return its future."""
         raise NotImplementedError
+
+    def submit_retrying(self, policy: Any, fn: Callable[..., Any], *args: Any) -> Future:
+        """Schedule ``fn(*args)`` under ``policy``'s retry/backoff loop.
+
+        ``policy`` is a :class:`~repro.api.runtime.runner.RetryPolicy` (or
+        anything exposing ``max_retries`` and ``delay``).  In-process pools
+        retry inside the worker slot; the process pool overrides this to
+        retry parent-side, so an attempt whose child process was killed is
+        re-run on a fresh child instead of being lost with it.
+        """
+        return self.submit(_run_with_retries, policy, fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:
         """Release the pool's workers; no further ``submit`` calls allowed."""
@@ -154,12 +195,114 @@ class ThreadWorkerPool(_ExecutorPool):
         return ThreadPoolExecutor(max_workers=self.size, thread_name_prefix="repro-worker")
 
 
-class ProcessWorkerPool(_ExecutorPool):
-    """A process-backed pool for CPU-bound, picklable workloads.
+def _pool_worker_main(conn) -> None:
+    """A pool child's whole life: recv ``(fn, args, kwargs)``, reply, repeat.
 
-    Each task (callable, arguments, and result) must pickle.  Engine-backend
-    trial handles hold live models and usually do not — use this pool for
-    function backends whose train functions are module-level callables.
+    Runs in a ``spawn``-ed child process.  Replies are ``("ok", result)`` or
+    ``("err", exception)``; an unpicklable result or exception is downgraded
+    to a picklable ``("err", WorkerCrashedError-free RuntimeError)`` so the
+    pipe never wedges.  ``None`` (or EOF) is the shutdown sentinel.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        fn, args, kwargs = message
+        try:
+            reply = ("ok", fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - mirrored to the parent
+            reply = ("err", error)
+        try:
+            conn.send(reply)
+        except (EOFError, OSError, BrokenPipeError):
+            break
+        except Exception as error:  # noqa: BLE001 - unpicklable payload
+            conn.send(
+                (
+                    "err",
+                    RuntimeError(
+                        f"task outcome could not cross the process boundary: "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                )
+            )
+    conn.close()
+
+
+class _ChildWorker:
+    """One persistent spawned child process plus its private pipe."""
+
+    def __init__(self, index: int):
+        context = multiprocessing.get_context("spawn")
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_pool_worker_main,
+            args=(child_conn,),
+            name=f"repro-pool-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def run(self, fn: Callable[..., Any], args: tuple, kwargs: dict) -> Any:
+        """Ship one task to the child and wait for its reply."""
+        try:
+            self.conn.send((fn, args, kwargs))
+        except (BrokenPipeError, OSError) as error:
+            raise self._crashed(f"send failed: {error}")
+        while not self.conn.poll(0.05):
+            if not self.process.is_alive() and not self.conn.poll(0.05):
+                raise self._crashed("died mid-task")
+        try:
+            status, payload = self.conn.recv()
+        except (EOFError, OSError):
+            raise self._crashed("died mid-task")
+        if status == "err":
+            raise payload
+        return payload
+
+    def _crashed(self, what: str) -> WorkerCrashedError:
+        return WorkerCrashedError(
+            f"worker process {self.process.pid} (slot "
+            f"{self.process.name!r}) {what} "
+            f"(exitcode={self.process.exitcode})"
+        )
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Ask the child to exit; escalate to terminate/kill if it will not."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - SIGKILL backstop
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+class ProcessWorkerPool(WorkerPool):
+    """True multi-process execution for CPU-bound, picklable workloads.
+
+    ``size`` parent threads each own one persistent child process created
+    with the ``spawn`` start method (no inherited locks or threads — the
+    only start method that is deterministic about what a child sees).  A
+    task is shipped to a slot's child over a private duplex pipe; the slot
+    thread waits for the reply, so a child killed mid-task fails **only
+    that task** with :class:`~repro.exceptions.WorkerCrashedError` and the
+    slot lazily respawns a fresh child — pending tasks in other slots are
+    untouched.
+
+    Each task's callable, arguments, and result must pickle; use
+    :func:`repro.utils.serialization.probe_picklable` to check ahead of
+    time.  Children are daemonic: if the parent dies without ``shutdown``,
+    the OS reaps them.
 
     Example::
 
@@ -172,8 +315,89 @@ class ProcessWorkerPool(_ExecutorPool):
 
     kind = "process"
 
-    def _make_executor(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.size)
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ConfigurationError(f"pool size must be positive, got {size}")
+        self.size = int(size)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.size, thread_name_prefix="repro-procslot"
+        )
+        self._slot = threading.local()
+        self._children: List[_ChildWorker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn`` on a slot's child process and return its future."""
+        return self._threads.submit(self._run_task, fn, args, kwargs)
+
+    def submit_retrying(self, policy: Any, fn: Callable[..., Any], *args: Any) -> Future:
+        """Retry parent-side: each attempt may land on a fresh child.
+
+        The in-slot loop of the other pools would die with the child; here
+        the loop lives in the parent slot thread, so a
+        :class:`~repro.exceptions.WorkerCrashedError` (child SIGKILLed
+        mid-attempt) is retried like any other failure, on a respawned
+        child, per the policy's backoff.
+        """
+        return self._threads.submit(self._run_retrying, policy, fn, args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop every child (politely, then by force) and release the slots.
+
+        Child processes are always stopped synchronously — an abandoned
+        child cannot outlive the pool the way an abandoned thread can —
+        so ``wait=False`` only skips waiting for queued parent-side tasks.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            children = list(self._children)
+            self._children = []
+        self._threads.shutdown(wait=wait, cancel_futures=not wait)
+        for child in children:
+            child.stop()
+
+    # ------------------------------------------------------------------ #
+    def _run_retrying(self, policy: Any, fn: Callable[..., Any], args: tuple) -> Any:
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                time.sleep(policy.delay(attempt))
+            try:
+                return self._run_task(fn, args, {})
+            except Exception as error:  # noqa: BLE001 - policy decides
+                last_error = error
+        raise last_error  # type: ignore[misc]
+
+    def _run_task(self, fn: Callable[..., Any], args: tuple, kwargs: dict) -> Any:
+        child = self._ensure_child()
+        try:
+            return child.run(fn, args, kwargs)
+        except WorkerCrashedError:
+            # Drop the corpse; the slot's next task spawns a replacement.
+            self._slot.child = None
+            with self._lock:
+                if child in self._children:
+                    self._children.remove(child)
+            child.stop(timeout=0.1)
+            raise
+
+    def _ensure_child(self) -> _ChildWorker:
+        child: Optional[_ChildWorker] = getattr(self._slot, "child", None)
+        if child is not None and child.process.is_alive():
+            return child
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot run tasks on a shut-down ProcessWorkerPool")
+            index = len(self._children)
+        child = _ChildWorker(index)
+        self._slot.child = child
+        with self._lock:
+            self._children.append(child)
+        return child
 
 
 _POOL_KINDS = {
@@ -188,12 +412,14 @@ def make_pool(workers: int = 1, kind: str = "thread") -> WorkerPool:
 
     ``workers=1`` always returns a :class:`SerialWorkerPool` (whatever
     ``kind`` says): one slot admits no concurrency, and inline execution is
-    strictly more deterministic.
+    strictly more deterministic.  Symmetrically, ``kind="serial"`` is serial
+    at any ``workers`` — a single inline slot is the only size it comes in.
 
     Example::
 
         assert make_pool(1).kind == "serial"
         assert make_pool(4).kind == "thread"
+        assert make_pool(4, kind="serial").kind == "serial"
         assert make_pool(2, kind="process").kind == "process"
 
     Raises:
@@ -206,6 +432,6 @@ def make_pool(workers: int = 1, kind: str = "thread") -> WorkerPool:
         raise ConfigurationError(
             f"unknown pool kind {kind!r}; available: {sorted(_POOL_KINDS)}"
         )
-    if workers == 1:
+    if workers == 1 or kind == "serial":
         return SerialWorkerPool()
     return _POOL_KINDS[kind](workers)

@@ -9,7 +9,10 @@ concurrent experiments reproducible.
 Fault tolerance is per trial, not per cohort:
 
 * a trial that raises is retried up to :attr:`RetryPolicy.max_retries`
-  times with exponential backoff, inside its worker slot;
+  times with exponential backoff — inside the worker slot on in-process
+  pools, parent-side on the process pool (via
+  :meth:`~repro.api.runtime.pool.WorkerPool.submit_retrying`), so a retry
+  survives even the death of the child process running the failed attempt;
 * a trial that exhausts its retries (or outlives the straggler deadline)
   becomes a :class:`TrialFault` carried in the result map — the rest of the
   cohort is unaffected and the experiment continues.
@@ -130,8 +133,9 @@ class AsyncTrialRunner:
 
         The result dict is keyed in **handle order**, and each value is
         either the task's return value or a :class:`TrialFault`.  Retries
-        (with backoff) happen inside the worker slot, so a flaky trial does
-        not serialise the cohort.  With a ``timeout_seconds`` policy, any
+        (with backoff) happen inside the trial's own pool slot
+        (:meth:`~repro.api.runtime.pool.WorkerPool.submit_retrying`), so a
+        flaky trial does not serialise the cohort.  With a ``timeout_seconds`` policy, any
         outcome not ready by the cohort deadline is recorded as a timed-out
         fault and its future cancelled — a queued trial is cancelled cleanly,
         a truly running straggler is abandoned (threads cannot be killed)
@@ -139,7 +143,7 @@ class AsyncTrialRunner:
         """
         futures: Dict[str, Future] = {}
         for handle in handles:
-            futures[handle.trial_id] = self.pool.submit(self._attempts, task, handle)
+            futures[handle.trial_id] = self.pool.submit_retrying(self.retry, task, handle)
         deadline = (
             time.monotonic() + self.retry.timeout_seconds
             if self.retry.timeout_seconds is not None
@@ -172,16 +176,3 @@ class AsyncTrialRunner:
                     attempts=self.retry.max_retries + 1,
                 )
         return outcomes
-
-    # ------------------------------------------------------------------ #
-    def _attempts(self, task: Callable[[Any], Any], handle: Any) -> Any:
-        """Run one trial's task with the retry/backoff loop, in-worker."""
-        last_error: Optional[BaseException] = None
-        for attempt in range(self.retry.max_retries + 1):
-            if attempt > 0:
-                time.sleep(self.retry.delay(attempt))
-            try:
-                return task(handle)
-            except Exception as error:  # noqa: BLE001 - policy decides
-                last_error = error
-        raise last_error  # type: ignore[misc]

@@ -15,6 +15,7 @@ and ``docs/router.md``).
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
@@ -24,8 +25,9 @@ from repro.serving.replica import Replica
 from repro.serving.router import FleetRouter
 from repro.serving.server import ModelServer
 
-#: what ``serve`` accepts: a live model, or a zero-argument factory that
-#: builds one fresh copy per replica
+#: what ``serve`` accepts: a live model, a zero-argument factory that
+#: builds one fresh copy per replica, or a picklable
+#: :class:`~repro.api.runtime.proc.ModelSpec` (required for process replicas)
 ModelSource = Union[ShardableModel, Callable[[], ShardableModel]]
 
 
@@ -44,6 +46,7 @@ def serve(
     spill_dir: Optional[str] = None,
     name: str = "server",
     start: bool = True,
+    replica_mode: str = "thread",
 ) -> ModelServer:
     """Deploy ``model`` behind a dynamically batched replica pool.
 
@@ -51,6 +54,17 @@ def serve(
     read-only by every replica — or a zero-argument factory called once per
     replica (required when replicas must not share parameter arrays, e.g.
     spilled serving with more than one replica).
+
+    ``replica_mode="process"`` serves through
+    :class:`~repro.api.runtime.proc.ProcessReplica` children instead of
+    threads — true parallel forwards past the GIL.  ``model`` must then be
+    a :class:`~repro.api.runtime.proc.ModelSpec`; each child builds the
+    model itself and mmaps the spec's registry weights read-only, so N
+    replicas share one physical copy of the parameter bytes through the
+    page cache.  Responses are bit-identical to thread replicas at the same
+    geometry.  Process replicas never spill (``memory_budget`` is
+    rejected); a :class:`ModelSpec` with ``replica_mode="thread"`` is also
+    accepted and built in-process, once per replica.
 
     ``memory_budget`` (bytes) opts each replica into *spilled* serving: the
     model is cut into ``num_shards`` shards (default: one per block) and
@@ -81,8 +95,45 @@ def serve(
     """
     if replicas <= 0:
         raise ConfigurationError(f"replicas must be positive, got {replicas}")
+    if replica_mode not in ("thread", "process"):
+        raise ConfigurationError(
+            f"replica_mode must be 'thread' or 'process', got {replica_mode!r}"
+        )
+    # Imported lazily: repro.api.runtime imports this facade's package peers.
+    from repro.api.runtime.proc import ModelSpec, ProcessReplica
+
+    if replica_mode == "process":
+        if not isinstance(model, ModelSpec):
+            raise ConfigurationError(
+                "process replicas need a ModelSpec (live models cannot cross "
+                "a process boundary); pass serve(ModelSpec(...), "
+                "replica_mode='process')"
+            )
+        if memory_budget is not None:
+            raise ConfigurationError(
+                "process replicas do not spill: their weights are read-only "
+                "mmaps shared through the page cache; drop memory_budget or "
+                "use replica_mode='thread'"
+            )
+        children = [
+            ProcessReplica(model, name=f"{name}/replica{index}")
+            for index in range(replicas)
+        ]
+        server = ModelServer(
+            children,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            timeout_ms=timeout_ms,
+            compute_batch_size=compute_batch_size,
+            name=name,
+        )
+        return server.start() if start else server
+
     factory: Optional[Callable[[], ShardableModel]]
-    if callable(model) and not isinstance(model, ShardableModel):
+    if isinstance(model, ModelSpec):
+        factory = model.build
+    elif callable(model) and not isinstance(model, ShardableModel):
         factory = model
     else:
         factory = None
@@ -142,6 +193,7 @@ def serve_fleet(
     max_cold_skips: int = 3,
     name: str = "fleet",
     start: bool = True,
+    replica_mode: str = "thread",
 ) -> FleetRouter:
     """Serve a registry's published models through one shared fleet router.
 
@@ -163,6 +215,14 @@ def serve_fleet(
     (default) the router is already running; use it as a context manager or
     call ``stop()`` when done.
 
+    ``replica_mode="process"`` serves each model from its own child
+    process: the deploy pins each name's **latest published version**, and
+    every child builds its model via ``builder(model_name)`` (which must be
+    a picklable, module-level callable) and mmaps that version's archive
+    read-only.  Process fleets ignore the device budget machinery — their
+    memory story is the shared page cache — so ``memory_budget`` is
+    rejected.
+
     Example::
 
         router = serve_fleet(registry, lambda name: build_model(name),
@@ -175,6 +235,16 @@ def serve_fleet(
             mismatch, or a model larger than ``memory_budget``.
         CheckpointError: for names without a published version.
     """
+    if replica_mode not in ("thread", "process"):
+        raise ConfigurationError(
+            f"replica_mode must be 'thread' or 'process', got {replica_mode!r}"
+        )
+    if replica_mode == "process" and memory_budget is not None:
+        raise ConfigurationError(
+            "a process fleet does not use the device budget: each model's "
+            "weights are read-only mmaps shared through the page cache; drop "
+            "memory_budget or use replica_mode='thread'"
+        )
     chosen = list(models) if models is not None else registry.names()
     if not chosen:
         raise ConfigurationError(
@@ -199,13 +269,33 @@ def serve_fleet(
         max_cold_skips=max_cold_skips,
         name=name,
     )
-    for model_name in chosen:
-        model = builder(model_name)
-        registry.load(model_name, model)
-        router.add_model(
-            model_name,
-            model,
-            weight=weights.get(model_name, 1.0),
-            compute_batch_size=compute_batch_size,
-        )
+    if replica_mode == "process":
+        from repro.api.runtime.proc import ModelSpec
+
+        for model_name in chosen:
+            # Pin the latest version *now*: the fleet serves one immutable
+            # archive per model for its whole life, even if training keeps
+            # publishing newer versions behind it.
+            spec = ModelSpec(
+                builder=functools.partial(builder, model_name),
+                registry_root=str(registry.root),
+                registry_name=model_name,
+                version=registry.latest_version(model_name),
+            )
+            router.add_model(
+                model_name,
+                spec,
+                weight=weights.get(model_name, 1.0),
+                compute_batch_size=compute_batch_size,
+            )
+    else:
+        for model_name in chosen:
+            model = builder(model_name)
+            registry.load(model_name, model)
+            router.add_model(
+                model_name,
+                model,
+                weight=weights.get(model_name, 1.0),
+                compute_batch_size=compute_batch_size,
+            )
     return router.start() if start else router

@@ -67,8 +67,27 @@ class CheckpointError(ReproError):
     """Raised when saving or restoring a checkpoint fails."""
 
 
+class WorkerCrashedError(ReproError):
+    """Raised when a pool's child worker process died mid-task.
+
+    The process-backed :class:`~repro.api.runtime.pool.ProcessWorkerPool`
+    raises this for the task that was in flight when its child exited
+    (SIGKILL, OOM, interpreter crash); only that task fails — the slot
+    respawns a fresh child for the next one, and the runner's usual
+    :class:`~repro.api.runtime.runner.RetryPolicy` applies.
+    """
+
+
 class ServingError(ReproError):
     """Base class for online-inference (``repro.serving``) failures."""
+
+
+class ReplicaCrashedError(ServingError):
+    """Raised when a process replica's child died with a request in flight.
+
+    Only the in-flight micro-batch fails with this error; the replica
+    respawns its child on the next request, so the server keeps serving.
+    """
 
 
 class ServerOverloadedError(ServingError):

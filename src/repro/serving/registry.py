@@ -18,6 +18,7 @@ reproduce the training-time outputs exactly.
 
 from __future__ import annotations
 
+import os
 import re
 import threading
 from dataclasses import dataclass, field
@@ -70,6 +71,15 @@ class ModelRegistry:
     The registry is thread-safe: concurrent trials under the worker-pool
     runtime can publish without clobbering each other's version numbers.
 
+    It is also **process-safe and crash-safe**: a version directory is
+    claimed with an atomic ``mkdir`` (auto-numbered publishes race forward
+    past collisions), and the archive is written to a temporary file and
+    ``os.replace``-d into place, so readers never observe a torn archive —
+    a publisher killed mid-write leaves a version directory without an
+    archive, which every lookup path ignores.  Registry objects pickle
+    (they serialise as their root path), so a handle can be shipped to
+    worker processes that publish or load against the same directory.
+
     Example::
 
         registry = ModelRegistry(tmp_path)
@@ -85,6 +95,16 @@ class ModelRegistry:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle as the root path alone (locks are per-process)."""
+        return {"root": str(self.root)}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Rebuild against the same directory with a fresh in-process lock."""
+        self.root = Path(state["root"])
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
 
@@ -105,31 +125,61 @@ class ModelRegistry:
         a new name); passing an explicit number that already exists raises —
         published versions are immutable.  ``metadata`` values must be
         convertible by ``np.asarray`` (numbers, strings, small arrays).
+
+        The version directory is claimed with an atomic ``mkdir`` (so
+        concurrent publishers — threads *or* processes — cannot share a
+        number; auto-numbered publishes retry past collisions), and the
+        archive lands via write-to-temp + ``os.replace``: readers either
+        see the complete archive or no archive at all.
         """
         self._check_name(name)
+        if version is not None and version <= 0:
+            raise ConfigurationError(f"version must be positive, got {version}")
         with self._lock:
-            if version is None:
-                existing = self.versions(name)
-                version = (existing[-1] + 1) if existing else 1
-            if version <= 0:
-                raise ConfigurationError(
-                    f"version must be positive, got {version}"
-                )
-            directory = self.root / name / _VERSION_DIR.format(version=version)
-            if directory.exists():
-                raise CheckpointError(
-                    f"model {name!r} version {version} is already published; "
-                    "published versions are immutable"
-                )
-            directory.mkdir(parents=True)
+            directory, version = self._claim_version_dir(name, version)
             payload = {"model_name": getattr(model, "model_name", type(model).__name__)}
             payload.update(metadata or {})
-            save_checkpoint(
-                model, directory / _ARCHIVE, metadata=payload, compressed=compressed
+            staged = save_checkpoint(
+                model,
+                directory / (".staging-" + _ARCHIVE),
+                metadata=payload,
+                compressed=compressed,
             )
+            os.replace(staged, directory / _ARCHIVE)
             return ModelVersion(
                 name=name, version=version, path=directory, metadata=dict(payload)
             )
+
+    def _claim_version_dir(self, name: str, version: Optional[int]):
+        """Atomically create (and thereby own) the next version directory.
+
+        ``mkdir`` is the cross-process mutex: whoever creates the directory
+        owns the number.  Auto-numbered publishes advance past collisions —
+        both live racers and torn directories a killed publisher left
+        behind (a directory without an archive is invisible to
+        :meth:`versions` but still occupies its number).
+        """
+        floor = 1
+        for _ in range(10_000):
+            if version is not None:
+                chosen = version
+            else:
+                existing = self.versions(name)
+                chosen = max((existing[-1] + 1) if existing else 1, floor)
+            directory = self.root / name / _VERSION_DIR.format(version=chosen)
+            try:
+                directory.mkdir(parents=True)
+                return directory, chosen
+            except FileExistsError:
+                if version is not None:
+                    raise CheckpointError(
+                        f"model {name!r} version {version} is already published; "
+                        "published versions are immutable"
+                    )
+                floor = chosen + 1
+        raise CheckpointError(  # pragma: no cover - requires 10k live racers
+            f"could not allocate a version number for model {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -168,6 +218,15 @@ class ModelRegistry:
         if not versions:
             raise CheckpointError(f"registry has no published model {name!r}")
         return versions[-1]
+
+    def archive_path(self, name: str, version: Optional[int] = None) -> Path:
+        """The ``.npz`` archive path of ``name``/``version`` (default latest).
+
+        This is the file process-based serving replicas ``mmap`` read-only:
+        published versions are immutable, so a path resolved once stays
+        valid for the life of the deployment.
+        """
+        return self._resolve(name, version).archive
 
     def metadata(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
         """The metadata recorded when ``name``/``version`` was published.

@@ -103,7 +103,7 @@ class ModelEntry:
     """
 
     name: str
-    model: ShardableModel
+    model: Optional[ShardableModel]
     weight: float
     max_batch_size: int
     compute_batch_size: int
@@ -114,6 +114,10 @@ class ModelEntry:
     pass_value: float = 0.0
     #: consecutive times the scheduler deferred this model while evicted
     cold_skips: int = 0
+    #: process-backed entries: the ProcessReplica client executing forwards
+    #: in a child process (``model`` is None; never budget-registered — the
+    #: weights are page-cache-shared mmaps, not arena bytes)
+    client: Any = None
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -250,7 +254,7 @@ class FleetRouter:
     def add_model(
         self,
         name: str,
-        model: ShardableModel,
+        model: Any,
         weight: float = 1.0,
         max_batch_size: Optional[int] = None,
         compute_batch_size: Optional[int] = None,
@@ -264,6 +268,14 @@ class FleetRouter:
         ``max_queue`` default to the router-wide settings.  The compute
         geometry must match any dedicated server the model's responses are
         compared against — exactness is per-geometry.
+
+        ``model`` may also be a :class:`~repro.api.runtime.proc.ModelSpec`:
+        the entry is then served by a :class:`~repro.api.runtime.proc.
+        ProcessReplica` — forwards run in a dedicated child process that
+        mmaps the spec's registry weights read-only.  Process entries are
+        never charged to the fleet budget (their bytes live in the shared
+        page cache, not the serving arena) and are always "hot" to the
+        scheduler.
         """
         if self._stopped:
             raise ServingError(
@@ -282,13 +294,23 @@ class FleetRouter:
             raise ConfigurationError(
                 f"compute_batch_size ({compute}) must be >= max_batch_size ({batch})"
             )
-        model.eval()
-        nbytes = sum(p.data.nbytes for p in model.parameters())
-        if self._budget is not None and nbytes > self._budget:
-            raise ConfigurationError(
-                f"model {name!r} needs {nbytes} bytes but the fleet budget is "
-                f"{self._budget}; a model must fit the budget whole"
-            )
+        # Imported lazily: repro.api initialisation imports the serving
+        # facade, which imports this package (same cycle start() breaks).
+        from repro.api.runtime.proc import ModelSpec, ProcessReplica
+
+        client = None
+        if isinstance(model, ModelSpec):
+            client = ProcessReplica(model, name=name)  # child spawns lazily
+            model = None
+            nbytes = 0
+        else:
+            model.eval()
+            nbytes = sum(p.data.nbytes for p in model.parameters())
+            if self._budget is not None and nbytes > self._budget:
+                raise ConfigurationError(
+                    f"model {name!r} needs {nbytes} bytes but the fleet budget is "
+                    f"{self._budget}; a model must fit the budget whole"
+                )
         entry = ModelEntry(
             name=name,
             model=model,
@@ -297,9 +319,12 @@ class FleetRouter:
             compute_batch_size=compute,
             max_queue=queue_limit,
             nbytes=nbytes,
+            client=client,
         )
         with self._cond:
             if name in self._entries:
+                if client is not None:
+                    client.close()
                 raise ConfigurationError(
                     f"model {name!r} is already registered with router {self.name!r}"
                 )
@@ -307,12 +332,13 @@ class FleetRouter:
             # A newly added model starts at the scheduler's virtual time so
             # it cannot claim the pool retroactively for epochs it sat out.
             entry.pass_value = self._virtual_time
-        self._manager.register(
-            entry.key,
-            _FLEET_ARENA,
-            nbytes,
-            lambda model=model: [p.data for p in model.parameters()],
-        )
+        if client is None:
+            self._manager.register(
+                entry.key,
+                _FLEET_ARENA,
+                nbytes,
+                lambda model=model: [p.data for p in model.parameters()],
+            )
         self.stats.for_model(name)  # a zeroed row in reports from day one
         return entry
 
@@ -398,8 +424,11 @@ class FleetRouter:
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
-            for name in list(self._entries):
-                self._manager.forget_model(name)
+            for name, entry in list(self._entries.items()):
+                if entry.client is not None:
+                    entry.client.close()
+                else:
+                    self._manager.forget_model(name)
             self._manager.close()
 
     def __enter__(self) -> "FleetRouter":
@@ -466,7 +495,11 @@ class FleetRouter:
             self._cond.notify_all()
         # Outside the router lock: the manager has its own locking, and a
         # restore started now overlaps whatever the workers are computing.
-        if self._manager.residency(entry.key) is ResidencyState.EVICTED:
+        # Process-backed entries have no residency to manage.
+        if (
+            entry.client is None
+            and self._manager.residency(entry.key) is ResidencyState.EVICTED
+        ):
             self._manager.prefetch(entry.key)
         return request.response
 
@@ -596,7 +629,8 @@ class FleetRouter:
                     continue
                 chosen = min(ready, key=lambda e: (e.pass_value, e.name))
                 if (
-                    chosen.cold_skips < self.max_cold_skips
+                    chosen.client is None
+                    and chosen.cold_skips < self.max_cold_skips
                     and self._manager.residency(chosen.key)
                     is not ResidencyState.RESIDENT
                 ):
@@ -607,8 +641,11 @@ class FleetRouter:
                         entry
                         for entry in ready
                         if entry is not chosen
-                        and self._manager.residency(entry.key)
-                        is ResidencyState.RESIDENT
+                        and (
+                            entry.client is not None
+                            or self._manager.residency(entry.key)
+                            is ResidencyState.RESIDENT
+                        )
                     ]
                     if hot:
                         # Defer the cold pick (bounded), start its restore,
@@ -636,23 +673,40 @@ class FleetRouter:
             started = time.monotonic()
             try:
                 arrays = concat_rows([request.arrays for request in batch])
-                padded = pad_rows(arrays, rows, entry.compute_batch_size)
-                # The lease pins the whole model resident (restoring it from
-                # the host cache if it was evicted) for exactly this forward.
-                with self._manager.lease(entry.key):
-                    with no_grad():
-                        output = entry.model.forward(
-                            Batch(arrays={k: np.asarray(v) for k, v in padded.items()})
-                        )
-                output = slice_rows(output, 0, rows)
-            except BaseException as error:  # noqa: BLE001 - mirrored to clients
-                for request in batch:
-                    request.response.set_exception(
-                        ServingError(
-                            f"model {entry.name!r} failed on a micro-batch: "
-                            f"{type(error).__name__}: {error}"
-                        )
+                if entry.client is not None:
+                    # Process-backed entry: the child pads to the compute
+                    # geometry, forwards, and slices — same exactness
+                    # contract, different process.
+                    output = entry.client.infer(
+                        arrays, pad_to=entry.compute_batch_size
                     )
+                else:
+                    padded = pad_rows(arrays, rows, entry.compute_batch_size)
+                    # The lease pins the whole model resident (restoring it
+                    # from the host cache if it was evicted) for exactly
+                    # this forward.
+                    with self._manager.lease(entry.key):
+                        with no_grad():
+                            output = entry.model.forward(
+                                Batch(
+                                    arrays={
+                                        k: np.asarray(v) for k, v in padded.items()
+                                    }
+                                )
+                            )
+                    output = slice_rows(output, 0, rows)
+            except BaseException as error:  # noqa: BLE001 - mirrored to clients
+                # Typed serving errors (ReplicaCrashedError from a killed
+                # child, ...) pass through so clients can react specifically.
+                if isinstance(error, ServingError):
+                    mirrored = error
+                else:
+                    mirrored = ServingError(
+                        f"model {entry.name!r} failed on a micro-batch: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                for request in batch:
+                    request.response.set_exception(mirrored)
                 self.stats.count(entry.name, failed=len(batch))
                 continue
             finished = time.monotonic()

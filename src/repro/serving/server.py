@@ -224,13 +224,19 @@ class ModelServer:
                 arrays = concat_rows([request.arrays for request in batch])
                 output = replica.infer(arrays, pad_to=self.compute_batch_size)
             except BaseException as error:  # noqa: BLE001 - mirrored to clients
-                for request in batch:
-                    request.response.set_exception(
-                        ServingError(
-                            f"replica {replica.name!r} failed on a micro-batch: "
-                            f"{type(error).__name__}: {error}"
-                        )
+                # Typed serving errors (ReplicaCrashedError from a killed
+                # process replica, ServerOverloadedError, ...) pass through
+                # unwrapped so clients can react to the specific failure;
+                # everything else is mirrored as a generic ServingError.
+                if isinstance(error, ServingError):
+                    mirrored = error
+                else:
+                    mirrored = ServingError(
+                        f"replica {replica.name!r} failed on a micro-batch: "
+                        f"{type(error).__name__}: {error}"
                     )
+                for request in batch:
+                    request.response.set_exception(mirrored)
                 self.stats.count(failed=len(batch))
                 continue
             finished = time.monotonic()

@@ -1,13 +1,31 @@
-"""JSON (de)serialisation helpers tolerant of numpy scalar types."""
+"""JSON (de)serialisation helpers tolerant of numpy scalar types,
+plus the pickle round-trip probe the process runtime gates on."""
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import pickle
 from pathlib import Path
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
+
+
+def probe_picklable(obj: Any) -> Optional[str]:
+    """Check whether ``obj`` survives a pickle round-trip.
+
+    Returns ``None`` when it does, otherwise a short human-readable reason
+    (exception type and message).  The process runtime uses this to decide —
+    per object, not per class — whether a backend, task, or builder can
+    cross a process boundary: a wrapper holding only picklable state passes
+    even if other instances of the same class would not.
+    """
+    try:
+        pickle.loads(pickle.dumps(obj))
+    except Exception as error:  # noqa: BLE001 - the reason is the result
+        return f"{type(error).__name__}: {error}"
+    return None
 
 
 class _NumpyJSONEncoder(json.JSONEncoder):

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -9,6 +13,61 @@ from repro.cluster import Cluster
 from repro.data import DataLoader, SyntheticSpanDataset, make_classification
 from repro.models import BertConfig, FeedForwardConfig, FeedForwardNetwork
 from repro.utils.rng import seed_everything
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _live_shm_segments() -> set:
+    """Names of live POSIX shared-memory segments (Linux-visible ones)."""
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {entry.name for entry in _SHM_DIR.glob("psm_*")}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _spawn_start_method():
+    """Pin the default start method to ``spawn``.
+
+    The runtime always builds its children from an explicit spawn context;
+    pinning the *default* as well means a test that accidentally reaches the
+    default context cannot fork a live test process (inheriting locks and
+    threads mid-flight) and behaves the same on every platform.
+    """
+    multiprocessing.set_start_method("spawn", force=True)
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _no_process_or_shm_leaks():
+    """Fail any test that leaks live child processes or shm segments.
+
+    Every child the runtime spawns (pool workers, serving replicas) and
+    every shared-memory segment it creates is owned by some parent object
+    with a ``close``/``shutdown``; a test that returns while children are
+    still alive or segments still linked has dropped one of those owners.
+    A short grace window absorbs children that are mid-exit.
+    """
+    children_before = {child.pid for child in multiprocessing.active_children()}
+    shm_before = _live_shm_segments()
+    yield
+    deadline = time.monotonic() + 5.0
+    while True:
+        leaked_children = [
+            child for child in multiprocessing.active_children()
+            if child.pid not in children_before and child.is_alive()
+        ]
+        leaked_shm = _live_shm_segments() - shm_before
+        if not leaked_children and not leaked_shm:
+            return
+        if time.monotonic() > deadline:
+            break
+        time.sleep(0.05)
+    assert not leaked_children, (
+        f"test leaked live child processes: {leaked_children}"
+    )
+    assert not leaked_shm, (
+        f"test leaked shared-memory segments: {sorted(leaked_shm)}"
+    )
 
 
 @pytest.fixture(autouse=True)

@@ -1,13 +1,18 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests (hypothesis) for core data structures and invariants,
+plus the exhaustive cross-pool determinism sweep for the concurrent runtime."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.api import Budget, Experiment, ShardParallelBackend
 from repro.autograd import Tensor, check_gradients, ops
 from repro.cluster import Cluster, ClusterSimulator, Device, DeviceSpec, SimTask
+from repro.data import DataLoader, make_classification
 from repro.models import FeedForwardConfig, FeedForwardNetwork
+from repro.optim import Adam
 from repro.profiling import ModelProfile, linear_cost
+from repro.selection import SearchSpace
 from repro.sharding import ShardingPlan, partition_min_max, partition_uniform
 from repro.training import ShardedModelExecutor
 
@@ -224,3 +229,79 @@ class TestShardingParityProperty:
             reference.named_parameters(), sharded.named_parameters()
         ):
             assert np.allclose(p_ref.grad, p_sharded.grad, atol=1e-6), name
+
+
+# --------------------------------------------------------------------------- #
+# Cross-pool determinism sweep
+# --------------------------------------------------------------------------- #
+_SWEEP_DATA = make_classification(
+    num_samples=64, num_features=8, num_classes=3, class_separation=2.0,
+    rng=np.random.default_rng(0),
+)
+
+#: a fraction of what the cohort's shards need — forces real spill traffic
+_TIGHT_BUDGET = 48 * 1024
+
+
+def _sweep_builder(trial):
+    """Module-level builder: must pickle into process-pool worker children."""
+    width = int(trial.get("width", 16))
+    config = FeedForwardConfig(input_dim=8, hidden_dims=(width,), num_classes=3)
+    model = FeedForwardNetwork(config, seed=0)
+    optimizer = Adam(model.parameters(), lr=float(trial.get("lr", 1e-2)))
+    loader = DataLoader(_SWEEP_DATA, batch_size=16, shuffle=True, seed=0)
+    return model, optimizer, loader
+
+
+def _sweep_run(workers, pool, memory_budget):
+    backend = ShardParallelBackend(
+        builder=_sweep_builder, num_devices=2, memory_budget=memory_budget
+    )
+    experiment = Experiment(
+        space=SearchSpace({"width": [16, 32], "lr": [1e-2, 1e-3]}),
+        searcher="grid",
+        objective="loss",
+        budget=Budget(epochs_per_trial=2),
+    )
+    if workers is None:
+        return experiment.run(backend=backend)
+    return experiment.run(backend=backend, workers=workers, pool=pool)
+
+
+@pytest.fixture(scope="module")
+def sweep_reference():
+    """One serial, unconstrained run — the ranking every combo must match."""
+    result = _sweep_run(None, None, None)
+    ranking = [t.trial_id for t in result.ranked()]
+    losses = {t.trial_id: t.metric("loss") for t in result.trials}
+    return ranking, losses
+
+
+class TestCrossPoolDeterminism:
+    """The tentpole invariant, swept exhaustively.
+
+    Rankings and losses must be **bit-identical** — not merely close —
+    across every execution substrate: worker count {1, 2, 4} x pool kind
+    {serial, thread, process} x memory budget {unconstrained, tight}.
+    Thread pools share live state, process pools round-trip every trial
+    through pickled backends and checkpoint snapshots, and tight budgets
+    reroute every shard through the spill manager; none of it may perturb
+    a single bit of any model's update sequence.
+    """
+
+    @pytest.mark.parametrize(
+        "memory_budget", [None, _TIGHT_BUDGET], ids=["unbounded", "tight"]
+    )
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_rankings_and_losses_bit_identical(
+        self, workers, pool, memory_budget, sweep_reference
+    ):
+        reference_ranking, reference_losses = sweep_reference
+        result = _sweep_run(workers, pool, memory_budget)
+        assert not result.failures
+        assert [t.trial_id for t in result.ranked()] == reference_ranking
+        # Float equality on purpose: the guarantee is bit-exactness.
+        assert {
+            t.trial_id: t.metric("loss") for t in result.trials
+        } == reference_losses
