@@ -73,6 +73,9 @@ def __getattr__(name):
     if name in ("HydraSession", "HydraConfig", "run_model_selection"):
         from repro import hydra
         return getattr(hydra, name)
+    if name in ("Telemetry", "NullTelemetry", "NULL_TELEMETRY"):
+        from repro import telemetry
+        return getattr(telemetry, name)
     if name in _API_EXPORTS:
         from repro import api
         return getattr(api, name)

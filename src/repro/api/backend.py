@@ -31,6 +31,7 @@ from typing import Any, Dict, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.selection.experiment import TrialConfig
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -81,6 +82,19 @@ class ExecutionBackend:
     #: quantity being measured), which the concurrent runtime must refuse
     #: to wrap rather than silently change what they report
     concurrency_safe: bool = True
+
+    #: the recorder instrumented paths consult; the shared no-op by default.
+    #: A class attribute so pickled backends (process-pool transport) fall
+    #: back to the no-op in the child unless explicitly re-wired there.
+    telemetry = NULL_TELEMETRY
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a recorder (``None`` restores the shared no-op).
+
+        ``Experiment.run(telemetry=...)`` calls this on the fully wrapped
+        engine; wrapper backends override it to propagate inward.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------------ #
     # Protocol
@@ -192,8 +206,17 @@ class CohortEngineBackend(ExecutionBackend):
         driver = self.make_driver(handles)
         base_epoch = handles[0].epochs_trained
         metrics: Dict[str, Dict[str, float]] = {}
+        tel = self.telemetry
+        trial_ids = [handle.trial_id for handle in handles]
         for offset in range(epochs):
-            metrics = driver.train_epoch(base_epoch + offset)
+            if tel.enabled:
+                with tel.span(
+                    "epoch", cat="training",
+                    epoch=base_epoch + offset, trials=trial_ids,
+                ):
+                    metrics = driver.train_epoch(base_epoch + offset)
+            else:
+                metrics = driver.train_epoch(base_epoch + offset)
         return {handle.trial_id: dict(metrics[handle.trial_id]) for handle in handles}
 
     def make_driver(self, handles: Sequence[TrialHandle]):

@@ -170,10 +170,21 @@ class ShardParallelBackend(CohortEngineBackend):
             **options,
         )
 
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a recorder and wire it into the owned spill manager."""
+        super().set_telemetry(telemetry)
+        if self.memory is not None:
+            self.memory.bind_telemetry(self.telemetry, name="spill.train")
+
     def __getstate__(self) -> Dict[str, Any]:
-        """Pickle without the spill manager (its threads are per-process)."""
+        """Pickle without the spill manager (its threads are per-process).
+
+        An attached recorder is dropped too (it holds locks); the child
+        falls back to the class-level no-op unless the task re-wires one.
+        """
         state = dict(self.__dict__)
         state["memory"] = None
+        state.pop("telemetry", None)
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -213,7 +224,9 @@ class ShardParallelBackend(CohortEngineBackend):
 
     def make_driver(self, handles: Sequence[TrialHandle]) -> ShardParallelTrainer:
         trainer = ShardParallelTrainer(
-            num_devices=self.num_devices, memory_manager=self.memory
+            num_devices=self.num_devices,
+            memory_manager=self.memory,
+            telemetry=self.telemetry,
         )
         for handle in handles:
             state: _TrialState = handle.state

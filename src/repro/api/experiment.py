@@ -352,6 +352,7 @@ class Experiment:
         retry: Optional[RetryPolicy] = None,
         memory_budget=None,
         pool: Optional[str] = None,
+        telemetry=None,
     ) -> SelectionResult:
         """Execute the experiment and return the ranked result.
 
@@ -386,6 +387,13 @@ class Experiment:
         memory and stream them in just in time — bit-identical results,
         bounded device memory.  Composes with ``workers``: the spill
         manager is shared and thread-safe.
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry` recorder) traces
+        the whole run: an ``experiment`` span wraps the search, each trial
+        and epoch gets a span (including trials running in child processes —
+        their events flush back over the result channel), and backend/spill
+        metrics register as snapshot collectors.  ``None`` (the default)
+        leaves the zero-overhead no-op recorder in place.
 
         Raises:
             ConfigurationError: if neither the experiment nor the call
@@ -432,6 +440,12 @@ class Experiment:
                 retry=retry,
                 pool_kind=pool if pool is not None else "thread",
             )
+        if telemetry is not None and telemetry.enabled:
+            # Attach to the *fully wrapped* engine so the runtime layer can
+            # propagate (or, for process pools, re-create) the recorder.
+            setter = getattr(engine, "set_telemetry", None)
+            if callable(setter):
+                setter(telemetry)
         searcher = (
             make_searcher(self.searcher) if isinstance(self.searcher, str) else self.searcher
         )
@@ -445,7 +459,11 @@ class Experiment:
             # Even on a mid-search failure, live trial state must reach
             # backend.teardown and on_trial_end observers (runner.__exit__).
             with TrialRunner(engine, self.space, self.budget, tracker, hooks) as runner:
-                searcher.run(runner)
+                if telemetry is not None and telemetry.enabled:
+                    with telemetry.span("experiment", cat="experiment", experiment=self.name):
+                        searcher.run(runner)
+                else:
+                    searcher.run(runner)
         finally:
             if owned_runtime is not None:
                 owned_runtime.close()

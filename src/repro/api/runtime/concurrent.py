@@ -41,6 +41,8 @@ from repro.api.runtime.pool import WorkerPool, make_pool
 from repro.api.runtime.runner import AsyncTrialRunner, RetryPolicy, TrialFault
 from repro.exceptions import ConfigurationError
 from repro.selection.experiment import TrialConfig
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.utils.logging import log_context
 from repro.utils.serialization import probe_picklable
 
 
@@ -51,12 +53,16 @@ class _ChildTrialReport:
     Live state never crosses: ``snapshot`` is whatever the inner backend's
     ``save_snapshot`` returned (a checkpoint path for real-training
     backends), and the parent re-attaches it with ``load_snapshot``.
+    ``events`` are the child's drained telemetry events (empty when
+    telemetry is off) — they ride the existing result channel, so a child
+    killed mid-trial ships nothing and the parent trace is never torn.
     """
 
     metrics: Dict[str, float]
     elapsed: float
     snapshot: Any
     annotations: Dict[str, Any] = field(default_factory=dict)
+    events: Tuple = ()
 
 
 class _ChildTrialTask:
@@ -70,29 +76,41 @@ class _ChildTrialTask:
     (``finalize_snapshot``).
     """
 
-    def __init__(self, inner: ExecutionBackend, epochs: int, snapshot_dir: str):
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        epochs: int,
+        snapshot_dir: str,
+        telemetry_enabled: bool = False,
+    ):
         self.inner = inner
         self.epochs = epochs
         self.snapshot_dir = snapshot_dir
+        # A bool crosses the pickle boundary; a live recorder (locks) cannot.
+        # The child builds its own buffer and drains it into the report.
+        self.telemetry_enabled = bool(telemetry_enabled)
 
     def __call__(self, outer: TrialHandle) -> _ChildTrialReport:
         backend = self.inner
+        tel = Telemetry() if self.telemetry_enabled else NULL_TELEMETRY
         try:
-            handle = backend.prepare(outer.trial)
-            handle.epochs_trained = outer.epochs_trained
-            if outer.state is not None:
-                backend.load_snapshot(handle, outer.state)
-            started = time.monotonic()
-            metrics = backend.train(handle, self.epochs)
-            elapsed = time.monotonic() - started
-            handle.epochs_trained += self.epochs
-            handle.last_metrics = dict(metrics)
-            snapshot = backend.save_snapshot(handle, self.snapshot_dir)
+            setter = getattr(backend, "set_telemetry", None)
+            if tel.enabled and callable(setter):
+                setter(tel)
+            with log_context(trial_id=outer.trial_id):
+                if tel.enabled:
+                    # A nesting span, so the backend's epoch/step spans get
+                    # this trial as their parent in the merged trace.
+                    with tel.span("trial", cat="experiment", trial_id=outer.trial_id):
+                        handle, metrics, elapsed, snapshot = self._run(backend, outer)
+                else:
+                    handle, metrics, elapsed, snapshot = self._run(backend, outer)
             return _ChildTrialReport(
                 metrics=dict(metrics),
                 elapsed=elapsed,
                 snapshot=snapshot,
                 annotations=dict(handle.annotations),
+                events=tuple(tel.drain()) if tel.enabled else (),
             )
         finally:
             # This unpickled backend copy dies with the task, but the child
@@ -104,6 +122,20 @@ class _ChildTrialTask:
                     close()
                 except Exception:  # noqa: BLE001 - cleanup must not mask
                     pass
+
+    def _run(self, backend: ExecutionBackend, outer: TrialHandle):
+        """Prepare → (resume) → train → snapshot; the task's actual work."""
+        handle = backend.prepare(outer.trial)
+        handle.epochs_trained = outer.epochs_trained
+        if outer.state is not None:
+            backend.load_snapshot(handle, outer.state)
+        started = time.monotonic()
+        metrics = backend.train(handle, self.epochs)
+        elapsed = time.monotonic() - started
+        handle.epochs_trained += self.epochs
+        handle.last_metrics = dict(metrics)
+        snapshot = backend.save_snapshot(handle, self.snapshot_dir)
+        return handle, metrics, elapsed, snapshot
 
 
 class ConcurrentBackend(ExecutionBackend):
@@ -191,6 +223,25 @@ class ConcurrentBackend(ExecutionBackend):
         self._runner = AsyncTrialRunner(self.pool, self.retry)
         self._lock = threading.Lock()
 
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a recorder; propagate inward only when trials stay in-process.
+
+        In process mode the inner backend is pickled into every child task —
+        a live recorder (it holds locks) must not be hung on it; children
+        get a ``telemetry_enabled`` flag and build their own buffer instead.
+        """
+        super().set_telemetry(telemetry)
+        if not self._process_mode:
+            setter = getattr(self.inner, "set_telemetry", None)
+            if callable(setter):
+                setter(self.telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_collector(
+                "runtime.pool",
+                lambda: {"kind": {"thread": 0, "process": 1}.get(self.pool.kind, -1),
+                         "workers": self.pool.size},
+            )
+
     # ------------------------------------------------------------------ #
     # Protocol
     # ------------------------------------------------------------------ #
@@ -224,8 +275,12 @@ class ConcurrentBackend(ExecutionBackend):
         that state).
         """
         live = [handle for handle in handles if handle.failure is None]
+        tel = self.telemetry
         if self._process_mode:
-            task = _ChildTrialTask(self.inner, epochs, self._snapshot_dir)
+            task = _ChildTrialTask(
+                self.inner, epochs, self._snapshot_dir,
+                telemetry_enabled=tel.enabled,
+            )
         else:
             task = lambda handle: self._train_one(handle, epochs)  # noqa: E731
         outcomes = self._runner.run_cohort(task, live)
@@ -236,14 +291,20 @@ class ConcurrentBackend(ExecutionBackend):
                 if isinstance(outcome, TrialFault):
                     handle.failure = outcome
                     self._teardown_inner(handle)
+                    if tel.enabled:
+                        tel.counter("runtime.trials.failed")
                 metrics[handle.trial_id] = {}
                 continue
+            if tel.enabled:
+                tel.counter("runtime.trials.completed")
             if isinstance(outcome, _ChildTrialReport):
                 handle.wall_seconds += outcome.elapsed
                 for key, value in outcome.annotations.items():
                     handle.annotations.setdefault(key, value)
                 handle.last_metrics = dict(outcome.metrics)
                 self.inner.load_snapshot(handle, outcome.snapshot)
+                if outcome.events:
+                    tel.ingest(outcome.events)
                 metrics[handle.trial_id] = dict(outcome.metrics)
                 continue
             trial_metrics, elapsed = outcome
@@ -292,6 +353,16 @@ class ConcurrentBackend(ExecutionBackend):
         self, handle: TrialHandle, epochs: int
     ) -> Tuple[Dict[str, float], float]:
         """In-worker task: lazily prepare, then train, timing this trial only."""
+        tel = self.telemetry
+        with log_context(trial_id=handle.trial_id):
+            if tel.enabled:
+                with tel.span("trial", cat="experiment", trial_id=handle.trial_id):
+                    return self._train_one_impl(handle, epochs)
+            return self._train_one_impl(handle, epochs)
+
+    def _train_one_impl(
+        self, handle: TrialHandle, epochs: int
+    ) -> Tuple[Dict[str, float], float]:
         inner_handle = self._inner_handle(handle)
         started = time.monotonic()
         trial_metrics = self.inner.train(inner_handle, epochs)

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ReplicaCrashedError, ServingError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utils.serialization import probe_picklable
 
 #: shared-memory layout: leaf arrays are aligned to cache-line multiples
@@ -279,7 +280,7 @@ def _safe_send(conn, message) -> bool:
             return False
 
 
-def _replica_child_main(spec: ModelSpec, conn) -> None:
+def _replica_child_main(spec: ModelSpec, conn, telemetry_enabled: bool = False) -> None:
     """A replica child's whole life: build once, then serve micro-batches.
 
     Protocol (parent → child): ``("infer", request_meta, pad_to,
@@ -288,9 +289,19 @@ def _replica_child_main(spec: ModelSpec, conn) -> None:
     parent: ``("ready", None)`` after the build, then per batch one of
     ``("ok", response_meta)``, ``("need", nbytes)`` (response segment too
     small), or ``("err", exception)``.
+
+    With ``telemetry_enabled`` the child keeps its own recorder and drains
+    it into every ``"ok"`` reply's metadata (``meta["events"]``) — events
+    ride the existing result channel, so a child killed mid-request ships
+    nothing partial and the parent trace is never torn.
     """
+    tel = Telemetry() if telemetry_enabled else NULL_TELEMETRY
     try:
-        model = spec.build()
+        if tel.enabled:
+            with tel.span("replica.build", cat="serving"):
+                model = spec.build()
+        else:
+            model = spec.build()
     except BaseException as error:  # noqa: BLE001 - mirrored to the parent
         _safe_send(conn, ("err", error))
         conn.close()
@@ -328,10 +339,17 @@ def _replica_child_main(spec: ModelSpec, conn) -> None:
             }
             rows = request_rows(arrays)
             padded = arrays if pad_to is None else pad_rows(arrays, rows, pad_to)
-            with no_grad():
-                output = model.forward(
-                    Batch(arrays={k: np.asarray(v) for k, v in padded.items()})
-                )
+            if tel.enabled:
+                with tel.span("replica.forward", cat="serving", rows=rows):
+                    with no_grad():
+                        output = model.forward(
+                            Batch(arrays={k: np.asarray(v) for k, v in padded.items()})
+                        )
+            else:
+                with no_grad():
+                    output = model.forward(
+                        Batch(arrays={k: np.asarray(v) for k, v in padded.items()})
+                    )
             output = slice_rows(output, 0, rows)
             leaves_out: List[Tuple[str, np.ndarray]] = []
             structure = _flatten_output(output, leaves_out)
@@ -359,17 +377,14 @@ def _replica_child_main(spec: ModelSpec, conn) -> None:
             _write_leaves(response, leaves_out, fields)
             break
         if granted:
-            _safe_send(
-                conn,
-                (
-                    "ok",
-                    {
-                        "segment": response_name,
-                        "structure": structure,
-                        "fields": fields,
-                    },
-                ),
-            )
+            reply_meta = {
+                "segment": response_name,
+                "structure": structure,
+                "fields": fields,
+            }
+            if tel.enabled:
+                reply_meta["events"] = tel.drain()
+            _safe_send(conn, ("ok", reply_meta))
     for segment in segments.values():
         try:
             segment.close()
@@ -409,7 +424,13 @@ class ProcessReplica:
     #: their memory story is the page cache, not a SpillManager
     manager = None
 
-    def __init__(self, spec: ModelSpec, name: str = "replica", start: bool = False):
+    def __init__(
+        self,
+        spec: ModelSpec,
+        name: str = "replica",
+        start: bool = False,
+        telemetry=None,
+    ):
         if not isinstance(spec, ModelSpec):
             raise ConfigurationError(
                 f"ProcessReplica needs a ModelSpec, got {type(spec).__name__}; "
@@ -417,6 +438,7 @@ class ProcessReplica:
             )
         self.spec = spec
         self.name = name
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.restarts = -1  # first start is not a restart
         self._lock = threading.Lock()
         self._proc = None
@@ -484,6 +506,9 @@ class ProcessReplica:
             if reply[0] == "err":
                 raise reply[1]
             meta = reply[1]
+            events = meta.get("events")
+            if events:
+                self._telemetry.ingest(events)
             leaves_out = _read_leaves(self._response.shm, meta["fields"], copy=True)
             return _rebuild_output(meta["structure"], leaves_out)
 
@@ -522,7 +547,7 @@ class ProcessReplica:
         self._conn, child_conn = context.Pipe(duplex=True)
         self._proc = context.Process(
             target=_replica_child_main,
-            args=(self.spec, child_conn),
+            args=(self.spec, child_conn, self._telemetry.enabled),
             name=f"repro-replica-{self.name}",
             daemon=True,
         )

@@ -47,6 +47,7 @@ def serve(
     name: str = "server",
     start: bool = True,
     replica_mode: str = "thread",
+    telemetry=None,
 ) -> ModelServer:
     """Deploy ``model`` behind a dynamically batched replica pool.
 
@@ -82,6 +83,11 @@ def serve(
     With ``start=True`` (default) the server is already running; use it as
     a context manager or call ``stop()`` when done.
 
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry` recorder) traces
+    submit→batch→forward spans and registers the server's latency stats as
+    a snapshot collector; process replicas flush their child-side spans
+    back with each reply.  ``None`` keeps the no-op recorder.
+
     Example::
 
         server = serve(model, max_batch_size=8, max_wait_ms=2.0)
@@ -116,7 +122,7 @@ def serve(
                 "use replica_mode='thread'"
             )
         children = [
-            ProcessReplica(model, name=f"{name}/replica{index}")
+            ProcessReplica(model, name=f"{name}/replica{index}", telemetry=telemetry)
             for index in range(replicas)
         ]
         server = ModelServer(
@@ -127,6 +133,7 @@ def serve(
             timeout_ms=timeout_ms,
             compute_batch_size=compute_batch_size,
             name=name,
+            telemetry=telemetry,
         )
         return server.start() if start else server
 
@@ -159,6 +166,7 @@ def serve(
                     prefetch=prefetch,
                     spill_dir=spill_dir,
                     name=replica_name,
+                    telemetry=telemetry,
                 )
             )
         else:
@@ -172,6 +180,7 @@ def serve(
         timeout_ms=timeout_ms,
         compute_batch_size=compute_batch_size,
         name=name,
+        telemetry=telemetry,
     )
     return server.start() if start else server
 
@@ -194,6 +203,7 @@ def serve_fleet(
     name: str = "fleet",
     start: bool = True,
     replica_mode: str = "thread",
+    telemetry=None,
 ) -> FleetRouter:
     """Serve a registry's published models through one shared fleet router.
 
@@ -268,6 +278,7 @@ def serve_fleet(
         spill_dir=spill_dir,
         max_cold_skips=max_cold_skips,
         name=name,
+        telemetry=telemetry,
     )
     if replica_mode == "process":
         from repro.api.runtime.proc import ModelSpec

@@ -38,6 +38,7 @@ from repro.exceptions import ConfigurationError, MemoryBudgetError
 from repro.memory.arena import DeviceArena
 from repro.memory.host_cache import HostShardCache, ShardKey
 from repro.memory.prefetch import Prefetcher
+from repro.telemetry import NULL_TELEMETRY
 
 #: returns the live device-side arrays of a shard (params + optimizer state),
 #: in a stable order — re-evaluated at each stash/restore so lazily created
@@ -214,6 +215,7 @@ class SpillManager:
         prefetcher: Optional[Prefetcher] = None,
         scrub_evicted: bool = False,
         acquire_timeout_seconds: float = 60.0,
+        telemetry=None,
     ):
         if isinstance(arenas, dict):
             arena_list = list(arenas.values())
@@ -233,9 +235,30 @@ class SpillManager:
         self.scrub_evicted = bool(scrub_evicted)
         self.acquire_timeout_seconds = float(acquire_timeout_seconds)
         self.stats = SpillStats()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._records: Dict[ShardKey, ShardResidency] = {}
         self._cond = threading.Condition(threading.RLock())
         self._clock = 0
+
+    def bind_telemetry(self, telemetry, name: str = "spill") -> None:
+        """Attach a recorder after construction and publish residency metrics.
+
+        Registers a collector named ``name`` whose snapshot folds the
+        :class:`SpillStats` counters together with the live
+        ``resident_bytes``/``registered_bytes`` occupancy — the absorption
+        path for components (backends, routers) that build their manager
+        before telemetry is wired in.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.telemetry.register_collector(
+                name,
+                lambda: {
+                    **self.stats.as_dict(),
+                    "resident_bytes": self.resident_bytes(),
+                    "registered_bytes": self.registered_bytes(),
+                },
+            )
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -394,7 +417,14 @@ class SpillManager:
                     self._wait_locked(deadline, key)
                     continue
                 arena.allocate(self._arena_key(record), record.nbytes)
-                self._restore_locked(record)
+                tel = self.telemetry
+                if tel.enabled:
+                    with tel.span(
+                        "spill.fetch", cat="memory", key=str(key), bytes=record.nbytes
+                    ):
+                        self._restore_locked(record)
+                else:
+                    self._restore_locked(record)
                 record.state = ResidencyState.RESIDENT
                 record.pins += 1
                 self._note_use(record)
@@ -416,11 +446,15 @@ class SpillManager:
     @contextmanager
     def lease(self, key: ShardKey) -> Iterator[None]:
         """``with manager.lease(key):`` — acquire on entry, release on exit."""
+        tel = self.telemetry
+        token = tel.begin("spill.lease", cat="memory", key=str(key)) if tel.enabled else None
         self.acquire(key)
         try:
             yield
         finally:
             self.release(key)
+            if token is not None:
+                tel.end(token)
 
     def announce(self, model_id: str, sequence: Sequence[ShardKey]) -> None:
         """Declare a model's upcoming access sequence (for schedule-aware eviction)."""
@@ -460,7 +494,15 @@ class SpillManager:
             payload = self._take_payload(record)
 
         def job() -> None:
-            self._copy_into_live_arrays(record, payload)
+            tel = self.telemetry
+            if tel.enabled:
+                with tel.span(
+                    "spill.prefetch", cat="memory",
+                    key=str(record.key), bytes=record.nbytes,
+                ):
+                    self._copy_into_live_arrays(record, payload)
+            else:
+                self._copy_into_live_arrays(record, payload)
 
         def on_done(error: Optional[BaseException]) -> None:
             with self._cond:
@@ -556,6 +598,16 @@ class SpillManager:
         return True
 
     def _evict_locked(self, record: ShardResidency) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            with tel.span(
+                "spill.evict", cat="memory", key=str(record.key), bytes=record.nbytes
+            ):
+                self._evict_body(record)
+        else:
+            self._evict_body(record)
+
+    def _evict_body(self, record: ShardResidency) -> None:
         # The stash copy (and, with a disk-tiered cache, its overflow write)
         # runs under the manager lock: deferring it would need an extra
         # EVICTING state so a concurrent acquire cannot observe the scrubbed

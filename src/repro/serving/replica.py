@@ -163,6 +163,7 @@ class Replica:
         host_cache_limit_bytes: Optional[int] = None,
         scrub_evicted: bool = False,
         name: str = "replica",
+        telemetry=None,
     ) -> "Replica":
         """A replica serving from a single ``memory_budget``-byte device arena.
 
@@ -204,7 +205,10 @@ class Replica:
             policy=eviction_policy,
             prefetcher=Prefetcher() if prefetch else None,
             scrub_evicted=scrub_evicted,
+            telemetry=telemetry,
         )
+        if telemetry is not None and telemetry.enabled:
+            executor.telemetry = telemetry
         executor.bind_memory(manager, model_id=name, device_of=lambda shard: _SERVE_ARENA)
         return cls(model, executor=executor, manager=manager, name=name)
 

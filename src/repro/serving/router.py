@@ -85,6 +85,8 @@ from repro.serving.batcher import InferenceRequest, PendingResponse
 from repro.serving.replica import concat_rows, pad_rows, request_rows, slice_rows
 from repro.serving.server import RequestArrays
 from repro.serving.stats import ServerStats
+from repro.telemetry import NULL_TELEMETRY
+from repro.utils.logging import log_context
 
 logger = logging.getLogger(__name__)
 
@@ -199,6 +201,7 @@ class FleetRouter:
         watchdog_interval_s: Optional[float] = 5.0,
         feature_field: str = "features",
         name: str = "fleet",
+        telemetry=None,
     ):
         if replicas <= 0:
             raise ConfigurationError(f"replicas must be positive, got {replicas}")
@@ -227,12 +230,14 @@ class FleetRouter:
         self.max_cold_skips = int(max_cold_skips)
         self.watchdog_interval_s = watchdog_interval_s
         self._budget = None if memory_budget is None else int(memory_budget)
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._manager = SpillManager(
             [DeviceArena(_FLEET_ARENA, self._budget or _UNBOUNDED)],
             cache=HostShardCache(spill_dir=spill_dir),
             policy=eviction_policy,
             prefetcher=Prefetcher() if prefetch else None,
             scrub_evicted=scrub_evicted,
+            telemetry=self._telemetry,
         )
         self.stats = ServerStats()
         self._entries: Dict[str, ModelEntry] = {}
@@ -300,7 +305,9 @@ class FleetRouter:
 
         client = None
         if isinstance(model, ModelSpec):
-            client = ProcessReplica(model, name=name)  # child spawns lazily
+            # Child spawns lazily; it inherits the router's telemetry flag so
+            # its forward spans flow back through the reply channel.
+            client = ProcessReplica(model, name=name, telemetry=self._telemetry)
             model = None
             nbytes = 0
         else:
@@ -372,6 +379,8 @@ class FleetRouter:
         # facade, which imports this package (same cycle ModelServer breaks).
         from repro.api.runtime.pool import ThreadWorkerPool
 
+        if self._telemetry.enabled:
+            self._telemetry.register_collector(f"router.{self.name}", self.metrics)
         self._pool = ThreadWorkerPool(self.replicas)
         self._running = True
         self._loops = [
@@ -478,6 +487,11 @@ class FleetRouter:
             submitted=now,
             deadline=None if limit is None else now + float(limit) / 1e3,
         )
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "request.submit", cat="serving",
+                router=self.name, model=model, rows=rows,
+            )
         with self._cond:
             if self._closed:
                 raise ServingError("router is stopped; no new requests accepted")
@@ -665,27 +679,61 @@ class FleetRouter:
 
     def _serve_loop(self) -> None:
         """One worker's life: pick a (model, batch), lease, infer, complete."""
+        tel = self._telemetry
         while True:
             assignment = self._next_assignment()
             if assignment is None:
                 return
             entry, batch, rows, depths = assignment
-            started = time.monotonic()
-            try:
-                arrays = concat_rows([request.arrays for request in batch])
-                if entry.client is not None:
-                    # Process-backed entry: the child pads to the compute
-                    # geometry, forwards, and slices — same exactness
-                    # contract, different process.
+            with log_context(router=self.name, model=entry.name):
+                if tel.enabled:
+                    with tel.span(
+                        "serve.batch", cat="serving",
+                        router=self.name, model=entry.name,
+                        rows=rows, requests=len(batch),
+                    ):
+                        self._serve_batch(entry, batch, rows, depths, tel)
+                else:
+                    self._serve_batch(entry, batch, rows, depths, tel)
+
+    def _serve_batch(self, entry, batch, rows, depths, tel) -> None:
+        """Run one assigned micro-batch and complete its responses."""
+        started = time.monotonic()
+        try:
+            arrays = concat_rows([request.arrays for request in batch])
+            if entry.client is not None:
+                # Process-backed entry: the child pads to the compute
+                # geometry, forwards, and slices — same exactness
+                # contract, different process.
+                if tel.enabled:
+                    with tel.span("serve.forward", cat="serving", model=entry.name):
+                        output = entry.client.infer(
+                            arrays, pad_to=entry.compute_batch_size
+                        )
+                else:
                     output = entry.client.infer(
                         arrays, pad_to=entry.compute_batch_size
                     )
-                else:
-                    padded = pad_rows(arrays, rows, entry.compute_batch_size)
-                    # The lease pins the whole model resident (restoring it
-                    # from the host cache if it was evicted) for exactly
-                    # this forward.
-                    with self._manager.lease(entry.key):
+            else:
+                padded = pad_rows(arrays, rows, entry.compute_batch_size)
+                # The lease pins the whole model resident (restoring it
+                # from the host cache if it was evicted) for exactly
+                # this forward.
+                with self._manager.lease(entry.key):
+                    if tel.enabled:
+                        with tel.span(
+                            "serve.forward", cat="serving", model=entry.name
+                        ):
+                            with no_grad():
+                                output = entry.model.forward(
+                                    Batch(
+                                        arrays={
+                                            k: np.asarray(v)
+                                            for k, v in padded.items()
+                                        }
+                                    )
+                                )
+                    else:
                         with no_grad():
                             output = entry.model.forward(
                                 Batch(
@@ -694,44 +742,48 @@ class FleetRouter:
                                     }
                                 )
                             )
-                    output = slice_rows(output, 0, rows)
-            except BaseException as error:  # noqa: BLE001 - mirrored to clients
-                # Typed serving errors (ReplicaCrashedError from a killed
-                # child, ...) pass through so clients can react specifically.
-                if isinstance(error, ServingError):
-                    mirrored = error
-                else:
-                    mirrored = ServingError(
-                        f"model {entry.name!r} failed on a micro-batch: "
-                        f"{type(error).__name__}: {error}"
-                    )
-                for request in batch:
-                    request.response.set_exception(mirrored)
-                self.stats.count(entry.name, failed=len(batch))
-                continue
-            finished = time.monotonic()
-            offset = 0
-            for request in batch:
-                request.response.set_result(
-                    slice_rows(output, offset, offset + request.rows)
+                output = slice_rows(output, 0, rows)
+        except BaseException as error:  # noqa: BLE001 - mirrored to clients
+            # Typed serving errors (ReplicaCrashedError from a killed
+            # child, ...) pass through so clients can react specifically.
+            if isinstance(error, ServingError):
+                mirrored = error
+            else:
+                mirrored = ServingError(
+                    f"model {entry.name!r} failed on a micro-batch: "
+                    f"{type(error).__name__}: {error}"
                 )
-                offset += request.rows
-                self.stats.record(entry.name, finished - request.submitted)
-            self.stats.record_batch(entry.name, rows, queue_depth=sum(depths.values()))
-            logger.debug(
-                "router=%s batch model=%s rows=%d/%d requests=%d infer_ms=%.2f queues=%s",
-                self.name,
-                entry.name,
-                rows,
-                entry.compute_batch_size,
-                len(batch),
-                (finished - started) * 1e3,
-                depths,
+            for request in batch:
+                request.response.set_exception(mirrored)
+            self.stats.count(entry.name, failed=len(batch))
+            return
+        finished = time.monotonic()
+        offset = 0
+        for request in batch:
+            request.response.set_result(
+                slice_rows(output, offset, offset + request.rows)
             )
+            offset += request.rows
+            self.stats.record(entry.name, finished - request.submitted)
+        self.stats.record_batch(entry.name, rows, queue_depth=sum(depths.values()))
+        logger.debug(
+            "router=%s batch model=%s rows=%d/%d requests=%d infer_ms=%.2f queues=%s",
+            self.name,
+            entry.name,
+            rows,
+            entry.compute_batch_size,
+            len(batch),
+            (finished - started) * 1e3,
+            depths,
+        )
 
     # ------------------------------------------------------------------ #
     def _watchdog_loop(self) -> None:
         """Log per-interval progress; flag stalls (queued work, no batches)."""
+        with log_context(router=self.name):
+            self._watchdog_body()
+
+    def _watchdog_body(self) -> None:
         last_completed = self.stats.fleet.completed
         while not self._watchdog_stop.wait(self.watchdog_interval_s):
             depths = self.queue_depths
@@ -742,6 +794,11 @@ class FleetRouter:
             if queued and progressed == 0:
                 with self._cond:
                     self._stalls += 1
+                if self._telemetry.enabled:
+                    self._telemetry.event(
+                        "router.stall", cat="serving",
+                        router=self.name, queued=queued,
+                    )
                 logger.warning(
                     "router=%s watchdog: no progress for %.1fs with %d queued "
                     "(queues=%s resident=%s)",

@@ -33,6 +33,7 @@ from repro.exceptions import ConfigurationError, ServingError
 from repro.serving.batcher import DynamicBatcher, InferenceRequest, PendingResponse
 from repro.serving.replica import Replica, concat_rows, request_rows, slice_rows
 from repro.serving.stats import LatencyStats
+from repro.telemetry import NULL_TELEMETRY
 
 #: request payload: a field->array dict, or a bare array for the default field
 RequestArrays = Union[Dict[str, np.ndarray], np.ndarray]
@@ -74,6 +75,7 @@ class ModelServer:
         compute_batch_size: Optional[int] = None,
         feature_field: str = "features",
         name: str = "server",
+        telemetry=None,
     ):
         if not replicas:
             raise ConfigurationError("a ModelServer needs at least one replica")
@@ -91,6 +93,7 @@ class ModelServer:
         self.timeout_ms = timeout_ms
         self.feature_field = feature_field
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = LatencyStats()
         self._batcher = DynamicBatcher(
             max_batch_size=max_batch_size,
@@ -121,6 +124,10 @@ class ModelServer:
 
         self.stats = LatencyStats()
         self._batcher.stats = self.stats
+        if self.telemetry.enabled:
+            self.telemetry.register_collector(
+                f"server.{self.name}", self.stats.snapshot
+            )
         self._pool = ThreadWorkerPool(len(self.replicas))
         self._running = True
         self._loops = [
@@ -185,6 +192,11 @@ class ModelServer:
             submitted=now,
             deadline=None if limit is None else now + float(limit) / 1e3,
         )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "request.submit", cat="serving",
+                server=self.name, rows=request.rows,
+            )
         self._batcher.submit(request)
         return request.response
 
@@ -213,40 +225,56 @@ class ModelServer:
     # ------------------------------------------------------------------ #
     def _serve_loop(self, replica: Replica) -> None:
         """One replica's life: pull a micro-batch, infer, complete responses."""
+        tel = self.telemetry
         while True:
             batch = self._batcher.next_batch()
             if batch is None:
                 return
-            try:
-                # The concat belongs inside the try: requests with
-                # mismatched field sets must fail *their batch*, not kill
-                # the replica loop and hang every later client.
-                arrays = concat_rows([request.arrays for request in batch])
+            if tel.enabled:
+                with tel.span(
+                    "serve.batch", cat="serving",
+                    server=self.name, replica=replica.name, requests=len(batch),
+                ):
+                    self._serve_batch(replica, batch, tel)
+            else:
+                self._serve_batch(replica, batch, tel)
+
+    def _serve_batch(self, replica: Replica, batch, tel) -> None:
+        """Run one coalesced micro-batch and complete its responses."""
+        try:
+            # The concat belongs inside the try: requests with
+            # mismatched field sets must fail *their batch*, not kill
+            # the replica loop and hang every later client.
+            arrays = concat_rows([request.arrays for request in batch])
+            if tel.enabled:
+                with tel.span("serve.forward", cat="serving", replica=replica.name):
+                    output = replica.infer(arrays, pad_to=self.compute_batch_size)
+            else:
                 output = replica.infer(arrays, pad_to=self.compute_batch_size)
-            except BaseException as error:  # noqa: BLE001 - mirrored to clients
-                # Typed serving errors (ReplicaCrashedError from a killed
-                # process replica, ServerOverloadedError, ...) pass through
-                # unwrapped so clients can react to the specific failure;
-                # everything else is mirrored as a generic ServingError.
-                if isinstance(error, ServingError):
-                    mirrored = error
-                else:
-                    mirrored = ServingError(
-                        f"replica {replica.name!r} failed on a micro-batch: "
-                        f"{type(error).__name__}: {error}"
-                    )
-                for request in batch:
-                    request.response.set_exception(mirrored)
-                self.stats.count(failed=len(batch))
-                continue
-            finished = time.monotonic()
-            offset = 0
+        except BaseException as error:  # noqa: BLE001 - mirrored to clients
+            # Typed serving errors (ReplicaCrashedError from a killed
+            # process replica, ServerOverloadedError, ...) pass through
+            # unwrapped so clients can react to the specific failure;
+            # everything else is mirrored as a generic ServingError.
+            if isinstance(error, ServingError):
+                mirrored = error
+            else:
+                mirrored = ServingError(
+                    f"replica {replica.name!r} failed on a micro-batch: "
+                    f"{type(error).__name__}: {error}"
+                )
             for request in batch:
-                rows = slice_rows(output, offset, offset + request.rows)
-                offset += request.rows
-                request.response.set_result(rows)
-                self.stats.record(finished - request.submitted)
-            self.stats.record_batch(offset, queue_depth=self._batcher.pending)
+                request.response.set_exception(mirrored)
+            self.stats.count(failed=len(batch))
+            return
+        finished = time.monotonic()
+        offset = 0
+        for request in batch:
+            rows = slice_rows(output, offset, offset + request.rows)
+            offset += request.rows
+            request.response.set_result(rows)
+            self.stats.record(finished - request.submitted)
+        self.stats.record_batch(offset, queue_depth=self._batcher.pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = sum(1 for replica in self.replicas if replica.is_spilled)

@@ -3,9 +3,13 @@
 One :class:`LatencyStats` instance accumulates per-request latencies (and
 the counters around them) behind a lock, so replica threads, the admission
 path, and metric readers never race.  Percentiles are computed on demand
-from the raw samples — serving runs here are thousands of requests, not
-millions, so keeping every sample is cheaper than maintaining a sketch and
-keeps p99 exact.
+from the raw samples.  By default every sample is kept — serving runs here
+are thousands of requests, not millions, and exact p99 beats a sketch at
+that scale.  For long-lived servers, ``max_samples`` caps memory with
+reservoir sampling (Vitter's Algorithm R, deterministic seed): below the
+cap behaviour is bit-identical to the unbounded default; above it, each
+sample survives with probability ``max_samples / n`` so percentiles stay
+an unbiased estimate of the full history while the counters remain exact.
 
 :class:`ServerStats` is the fleet-level aggregation the
 :class:`~repro.serving.router.FleetRouter` reports through: one fleet-wide
@@ -15,6 +19,7 @@ lands in both its model's distribution and the fleet's.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Dict, List, Optional
@@ -57,6 +62,10 @@ class LatencyStats:
     that never produced a response.  ``snapshot`` freezes the counters and
     percentiles into a plain dict for reports and benchmarks.
 
+    ``max_samples=None`` (default) keeps every latency sample; a positive
+    cap switches to reservoir sampling so a long-lived server's footprint
+    stays bounded while ``completed``/``throughput_rps`` stay exact.
+
     Example::
 
         stats = LatencyStats()
@@ -64,9 +73,16 @@ class LatencyStats:
         assert stats.snapshot()["completed"] == 1
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
         self._lock = threading.Lock()
         self._latencies: List[float] = []
+        self._max_samples = max_samples
+        # Deterministic reservoir: snapshots are reproducible under the
+        # repo-wide exactness bar, and tests can assert on them.
+        self._rng = random.Random(0x5EED)
+        self._completed = 0
         self.rejected = 0
         self.timed_out = 0
         self.failed = 0
@@ -81,7 +97,15 @@ class LatencyStats:
     def record(self, latency_seconds: float) -> None:
         """Record one completed request's end-to-end latency."""
         with self._lock:
-            self._latencies.append(float(latency_seconds))
+            self._completed += 1
+            if self._max_samples is None or len(self._latencies) < self._max_samples:
+                self._latencies.append(float(latency_seconds))
+            else:
+                # Algorithm R: the n-th sample replaces a reservoir slot
+                # with probability max_samples / n.
+                slot = self._rng.randrange(self._completed)
+                if slot < self._max_samples:
+                    self._latencies[slot] = float(latency_seconds)
 
     def count(self, *, rejected: int = 0, timed_out: int = 0, failed: int = 0) -> None:
         """Bump the failure counters (requests that produced no response)."""
@@ -109,9 +133,9 @@ class LatencyStats:
 
     @property
     def completed(self) -> int:
-        """Number of requests that received a response."""
+        """Number of requests that received a response (exact, not sampled)."""
         with self._lock:
-            return len(self._latencies)
+            return self._completed
 
     # ------------------------------------------------------------------ #
     def snapshot(self, window_seconds: Optional[float] = None) -> Dict[str, float]:
@@ -122,13 +146,14 @@ class LatencyStats:
         """
         with self._lock:
             latencies = list(self._latencies)
+            completed = self._completed
             elapsed = (
                 float(window_seconds)
                 if window_seconds is not None
                 else max(time.monotonic() - self._started, 1e-9)
             )
             report: Dict[str, float] = {
-                "completed": float(len(latencies)),
+                "completed": float(completed),
                 "rejected": float(self.rejected),
                 "timed_out": float(self.timed_out),
                 "failed": float(self.failed),
@@ -142,7 +167,7 @@ class LatencyStats:
                     if self._queue_depth_samples
                     else 0.0
                 ),
-                "throughput_rps": len(latencies) / elapsed,
+                "throughput_rps": completed / elapsed,
             }
         report.update(latency_summary(latencies))
         return report

@@ -36,6 +36,7 @@ from repro.data.dataloader import Batch, DataLoader
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.models.base import ShardableModel
 from repro.optim.optimizer import Optimizer
+from repro.telemetry import NULL_TELEMETRY
 from repro.training.metrics import MetricTracker
 from repro.training.trainer import TrainingReport
 
@@ -90,6 +91,7 @@ class ShardedModelExecutor:
         self._memory_optimizer: Optional[Optimizer] = None
         self._memory_model_id: Optional[str] = None
         self._advance_pending = False
+        self.telemetry = NULL_TELEMETRY
 
     def _validate_boundaries(self) -> None:
         expected = 0
@@ -338,6 +340,14 @@ class ShardedModelExecutor:
                 "train_step received a different optimizer than bind_memory; "
                 "spilled updates must go through the registered optimizer"
             )
+        tel = self.telemetry
+        if tel.enabled:
+            with tel.span("step", cat="training", model=self.model.model_name):
+                return self._train_step_impl(batch, optimizer)
+        return self._train_step_impl(batch, optimizer)
+
+    def _train_step_impl(self, batch: Batch, optimizer: Optimizer) -> float:
+        """The uninstrumented step body (E16 benchmarks this directly)."""
         self.begin_batch()
         self.model.zero_grad()
         for shard_index in range(self.num_shards):
@@ -405,11 +415,17 @@ class ShardParallelTrainer:
     device budget still train, bit-identically to fully-resident runs.
     """
 
-    def __init__(self, num_devices: int = 2, memory_manager: Optional["SpillManager"] = None):
+    def __init__(
+        self,
+        num_devices: int = 2,
+        memory_manager: Optional["SpillManager"] = None,
+        telemetry=None,
+    ):
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
         self.num_devices = int(num_devices)
         self.memory = memory_manager
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._slots: List[_ModelSlot] = []
 
     def add_model(
@@ -422,6 +438,7 @@ class ShardParallelTrainer:
     ) -> None:
         """Register a model (with its sharding boundaries) for interleaved training."""
         executor = ShardedModelExecutor(model, boundaries)
+        executor.telemetry = self.telemetry
         model_id = model_id or model.model_name
         slot_index = len(self._slots)
         shard_devices = [
@@ -467,6 +484,10 @@ class ShardParallelTrainer:
         phases: List[str] = ["fetch"] * len(self._slots)
         cursors: List[int] = [0] * len(self._slots)
         finished = [False] * len(self._slots)
+        tel = self.telemetry
+        # Interleaved steps of different models overlap in time, so they use
+        # begin/end tokens (flat spans) instead of the nesting context manager.
+        tokens: List[Optional[Any]] = [None] * len(self._slots)
 
         while not all(finished):
             progressed = False
@@ -480,6 +501,10 @@ class ShardParallelTrainer:
                     except StopIteration:
                         finished[index] = True
                         continue
+                    if tel.enabled:
+                        tokens[index] = tel.begin(
+                            "step", cat="training", model=slot.model_id, epoch=epoch
+                        )
                     slot.executor.begin_batch()
                     slot.executor.model.zero_grad()
                     phases[index] = "forward"
@@ -503,6 +528,9 @@ class ShardParallelTrainer:
                         # Free the finished batch's activation stashes before
                         # the next fetch so peak memory spans one batch, not two.
                         slot.executor.end_batch()
+                        if tokens[index] is not None:
+                            tel.end(tokens[index])
+                            tokens[index] = None
                         batches[index] = None
                         phases[index] = "fetch"
             if not progressed:

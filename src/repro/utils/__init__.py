@@ -1,7 +1,7 @@
 """Shared utilities: RNG management, logging, formatting, serialization."""
 
 from repro.utils.rng import RandomState, get_rng, seed_everything, temporary_seed
-from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.logging import get_log_context, get_logger, log_context, set_verbosity
 from repro.utils.tabulate import format_table
 from repro.utils.serialization import to_json, from_json
 
@@ -10,7 +10,9 @@ __all__ = [
     "get_rng",
     "seed_everything",
     "temporary_seed",
+    "get_log_context",
     "get_logger",
+    "log_context",
     "set_verbosity",
     "format_table",
     "to_json",

@@ -3,16 +3,36 @@
 The library logs through the standard :mod:`logging` module under the
 ``"repro"`` namespace; :func:`set_verbosity` configures a sensible default
 handler for scripts and benchmarks without forcing a configuration on
-applications that embed the library.
+applications that embed the library.  It is idempotent and re-entrant:
+every call replaces the handler *this module* installed (never anyone
+else's), so repeated calls with a new level/format take effect instead of
+duplicating output.
+
+:func:`log_context` propagates request/trial context (``trial_id``,
+``request_id``, ``model``, ...) into log records through a
+:class:`contextvars.ContextVar`, so ``repro.*`` lines emitted from replica
+threads or the router watchdog are attributable without grepping.  The
+fields render as ``[key=value ...]`` via the ``%(repro_context)s`` format
+slot, injected by :class:`ContextFilter` (installed on our handler; add it
+to any custom handler that uses the slot).
 """
 
 from __future__ import annotations
 
+import contextvars
 import logging
 import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, TextIO
 
 _ROOT_LOGGER_NAME = "repro"
-_configured = False
+
+#: default record format; ``%(repro_context)s`` renders the ambient context
+DEFAULT_LOG_FORMAT = "%(asctime)s %(name)s %(levelname)s%(repro_context)s: %(message)s"
+
+_context: "contextvars.ContextVar[Dict[str, Any]]" = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -26,17 +46,92 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(_ROOT_LOGGER_NAME)
 
 
-def set_verbosity(level: int | str = logging.INFO) -> None:
-    """Attach a stderr handler to the package logger and set its level."""
-    global _configured
+# --------------------------------------------------------------------------- #
+# Request/trial context propagation
+# --------------------------------------------------------------------------- #
+class ContextFilter(logging.Filter):
+    """Injects the ambient :func:`log_context` fields into every record.
+
+    Sets ``record.repro_context`` to ``" [k=v ...]"`` (or ``""`` when no
+    context is active), which the default format renders inline.  Attach it
+    to any handler whose format string uses ``%(repro_context)s``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        fields = _context.get()
+        record.repro_context = (
+            " [" + " ".join(f"{key}={value}" for key, value in fields.items()) + "]"
+            if fields
+            else ""
+        )
+        return True
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Scope log-record context fields (``trial_id``, ``request_id``, ``model``).
+
+    Nested scopes merge (inner values win); ``None`` values are dropped.
+    Context is a :class:`~contextvars.ContextVar`, so each thread (and each
+    asyncio task) sees only its own scope — a replica thread's ``model=``
+    never leaks into the watchdog's lines.
+
+    Example::
+
+        with log_context(trial_id="grid-0"):
+            logger.info("training")   # ... INFO [trial_id=grid-0]: training
+    """
+    merged = dict(_context.get())
+    merged.update(
+        {key: value for key, value in fields.items() if value is not None}
+    )
+    token = _context.set(merged)
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def get_log_context() -> Dict[str, Any]:
+    """The currently active context fields (a copy)."""
+    return dict(_context.get())
+
+
+# --------------------------------------------------------------------------- #
+# Verbosity
+# --------------------------------------------------------------------------- #
+def set_verbosity(
+    level: int | str = logging.INFO,
+    fmt: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Attach (or replace) the package's stderr handler and set its level.
+
+    Idempotent and re-entrant: the handler this function installed before is
+    removed first (identified by a marker attribute, so handlers added by
+    the embedding application are never touched), then one fresh handler
+    with ``fmt`` (default :data:`DEFAULT_LOG_FORMAT`) and ``stream``
+    (default ``sys.stderr``) is attached.  Calling twice never duplicates
+    output, and a second call with a different level/format takes effect.
+    """
     logger = logging.getLogger(_ROOT_LOGGER_NAME)
     if isinstance(level, str):
-        level = logging.getLevelName(level.upper())
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown log level {level!r}; use DEBUG/INFO/WARNING/ERROR "
+                "or a numeric level"
+            )
+        level = resolved
     logger.setLevel(level)
-    if not _configured:
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-        )
-        logger.addHandler(handler)
-        _configured = True
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_managed", False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt if fmt is not None else DEFAULT_LOG_FORMAT))
+    handler.addFilter(ContextFilter())
+    handler._repro_managed = True  # marker: ours to replace on the next call
+    logger.addHandler(handler)
